@@ -1,0 +1,58 @@
+"""Fig. 5 — overhead of the native sandbox: OpenSSL in NGINX.
+
+Paper: protecting session keys/crypto with HFI's native sandbox costs
+2.9%-6.1% of throughput across file sizes; MPK (ERIM) costs 1.9%-5.3%.
+HFI is slightly more expensive than MPK because each transition also
+moves region metadata from memory into HFI registers.
+"""
+
+from conftest import once
+
+from repro.analysis import emit, format_series, format_table
+from repro.params import MachineParams
+from repro.workloads import FILE_SIZES, NginxModel
+
+
+def run(params):
+    model = NginxModel(params)
+    sweep = model.sweep()
+    overheads = {
+        scheme: [model.overhead_pct(size, scheme) for size in FILE_SIZES]
+        for scheme in ("hfi", "mpk")
+    }
+    return model, sweep, overheads
+
+
+def test_fig5_nginx(benchmark):
+    params = MachineParams()
+    model, sweep, overheads = once(benchmark, run, params)
+    labels = [f"{s >> 10}kb" for s in FILE_SIZES]
+    rows = []
+    for i, label in enumerate(labels):
+        rows.append((label,
+                     f"{sweep['unprotected'][i]:,.0f}",
+                     f"{sweep['hfi'][i]:,.0f}",
+                     f"{sweep['mpk'][i]:,.0f}",
+                     f"{overheads['hfi'][i]:.2f}%",
+                     f"{overheads['mpk'][i]:.2f}%"))
+    table = format_table(
+        ["file size", "unprotected rps", "HFI rps", "MPK rps",
+         "HFI ovh", "MPK ovh"],
+        rows,
+        title=("Fig. 5 NGINX+OpenSSL throughput "
+               "(paper: HFI 2.9%-6.1% overhead, MPK 1.9%-5.3%)"))
+    table += "\n" + format_series("hfi-overhead-%", labels,
+                                  overheads["hfi"])
+    table += "\n" + format_series("mpk-overhead-%", labels,
+                                  overheads["mpk"])
+    emit("fig5_nginx", table)
+
+    # Bands, slightly widened from the paper's.
+    assert all(1.5 <= o <= 7.5 for o in overheads["hfi"]), overheads
+    assert all(1.0 <= o <= 6.5 for o in overheads["mpk"]), overheads
+    # HFI pays a little more than MPK at every size (metadata moves).
+    for hfi_o, mpk_o in zip(overheads["hfi"], overheads["mpk"]):
+        assert hfi_o > mpk_o
+    # sanity: per-transition HFI cost really exceeds MPK's
+    assert model.switch_cost("hfi") > model.switch_cost("mpk") \
+        > model.switch_cost("unprotected")

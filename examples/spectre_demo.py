@@ -1,0 +1,58 @@
+"""Spectre demo: leak a secret through speculation, then stop it with
+HFI — the paper's §5.3 security story, end to end.
+
+The victim is the SafeSide bounds-check-bypass gadget; the attacker
+trains the branch predictor, supplies an out-of-bounds index, and
+reads the secret out of the cache with flush+reload.  With HFI's
+implicit regions installed (secret excluded), the speculative load is
+refused *before any cache fill*, and the side channel goes dark.
+
+Run:  python examples/spectre_demo.py
+"""
+
+from repro.attacks import SpectrePhtAttack
+from repro.params import MachineParams
+
+SECRET_TEXT = "HFI!"
+
+
+def ascii_plot(latencies, threshold, around, width=60):
+    """A tiny latency plot around the interesting byte values."""
+    lines = []
+    for value in around:
+        lat = latencies[value]
+        bar = "#" * max(1, int(width * min(lat, 250) / 250))
+        mark = " <-- cached (leaked!)" if lat <= threshold else ""
+        label = repr(chr(value)) if 32 <= value < 127 else str(value)
+        lines.append(f"  {label:>5} | {lat:4d} cy {bar[:20]}{mark}")
+    return "\n".join(lines)
+
+
+def leak(protect: bool) -> str:
+    recovered = []
+    for ch in SECRET_TEXT:
+        attack = SpectrePhtAttack(MachineParams(),
+                                  protect_with_hfi=protect)
+        result = attack.attack(secret_value=ord(ch))
+        recovered.append(chr(result.leaked_value)
+                         if result.leaked else "?")
+        if ch == SECRET_TEXT[0]:
+            window = [v for v in range(ord(ch) - 3, ord(ch) + 4)]
+            print(ascii_plot(result.latencies, result.threshold, window))
+            print(f"  (hit threshold: {result.threshold} cycles)\n")
+    return "".join(recovered)
+
+
+def main():
+    print("=== Spectre-PHT without HFI ===")
+    got = leak(protect=False)
+    print(f"attacker recovered: {got!r}  (secret was {SECRET_TEXT!r})\n")
+
+    print("=== Spectre-PHT with HFI regions protecting the secret ===")
+    got = leak(protect=True)
+    print(f"attacker recovered: {got!r}  (no byte below threshold — "
+          "the speculative load never reached the cache)")
+
+
+if __name__ == "__main__":
+    main()

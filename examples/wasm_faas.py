@@ -1,0 +1,68 @@
+"""A miniature FaaS platform on HFI — the paper's §6.3 scenario.
+
+Shows the lifecycle economics that motivate HFI for FaaS providers:
+
+* instance creation with and without 8 GiB guard reservations,
+* heap growth: mprotect vs a single hfi_set_region,
+* running the same tenant function under both isolation strategies,
+* batched teardown, which only pays off once guards are elided.
+
+Run:  python examples/wasm_faas.py
+"""
+
+from repro.params import MachineParams
+from repro.wasm import GuardPagesStrategy, HfiStrategy, WasmRuntime
+from repro.workloads.faas_apps import templated_html
+
+N_TENANTS = 50
+
+
+def lifecycle(strategy_cls, label):
+    params = MachineParams()
+    runtime = WasmRuntime(params)
+    module = templated_html()
+
+    # one "real" tenant we actually execute
+    instance = runtime.instantiate(module, strategy_cls())
+    result = runtime.run(instance)
+    assert result.reason == "hlt"
+    run_cycles = result.stats.cycles
+
+    grow_cycles = runtime.memory_grow(instance, pages=16)
+
+    # many memory-only tenants to measure footprint + teardown
+    tenants = [runtime.reserve_instance(strategy_cls(), 1 << 20,
+                                        touch_pages=4)
+               for _ in range(N_TENANTS)]
+    reserved_gib = runtime.space.reserved_bytes / (1 << 30)
+    per_instance_teardown = [runtime.teardown(t) for t in
+                             tenants[:N_TENANTS // 2]]
+    stock = sum(per_instance_teardown) / len(per_instance_teardown)
+    batched = (runtime.teardown_batch(tenants[N_TENANTS // 2:])
+               / (N_TENANTS - N_TENANTS // 2))
+
+    print(f"--- {label} ---")
+    print(f"  tenant function run:        {run_cycles:>10,} cycles")
+    print(f"  memory_grow(1 MiB):         {grow_cycles:>10,} cycles")
+    print(f"  address space for {N_TENANTS} idle tenants: "
+          f"{reserved_gib:8.1f} GiB reserved")
+    print(f"  teardown, one madvise each: {stock:>10,.0f} cycles/tenant")
+    print(f"  teardown, batched madvise:  {batched:>10,.0f} cycles/tenant")
+    print()
+    return stock, batched
+
+
+def main():
+    print("FaaS lifecycle under the stock guard-page scheme vs HFI\n")
+    g_stock, g_batched = lifecycle(GuardPagesStrategy, "guard pages")
+    h_stock, h_batched = lifecycle(HfiStrategy, "HFI")
+    print("observations (paper §6.3):")
+    print(f"  * batching without HFI is a LOSS "
+          f"({g_batched / g_stock:.2f}x stock) — the guard regions get "
+          "swept too;")
+    print(f"  * batching with HFI wins ({h_batched / h_stock:.2f}x "
+          "stock) because adjacent heaps have no guards between them.")
+
+
+if __name__ == "__main__":
+    main()

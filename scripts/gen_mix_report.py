@@ -1,0 +1,42 @@
+"""Generate the instruction-mix appendix for EXPERIMENTS.md.
+
+Profiles a representative workload per suite under the three Fig. 3
+strategies and prints the mix deltas that explain the results — run
+manually when recalibrating:
+
+    python scripts/gen_mix_report.py
+"""
+
+from repro.analysis import compare, format_table
+from repro.workloads import SIGHTGLASS_BENCHMARKS, SPEC_BENCHMARKS
+
+STRATEGIES = ["guard-pages", "bounds-check", "hfi"]
+PICKS = [
+    ("sieve", SIGHTGLASS_BENCHMARKS["sieve"]),
+    ("445.gobmk", SPEC_BENCHMARKS["445.gobmk"]),
+    ("429.mcf", SPEC_BENCHMARKS["429.mcf"]),
+]
+
+
+def main() -> None:
+    for name, builder in PICKS:
+        module = builder(1)
+        profiles = compare(module, STRATEGIES)
+        rows = []
+        for strategy in STRATEGIES:
+            p = profiles[strategy]
+            rows.append((strategy, f"{p.cycles:,}",
+                         f"{p.instructions:,}", f"{p.memory_ops:,}",
+                         f"{p.branches:,}", f"{p.binary_size:,}",
+                         f"{p.ipc_proxy:.2f}"))
+        print(format_table(
+            ["strategy", "cycles", "instructions", "mem ops",
+             "branches", "binary B", "insn/cycle"],
+            rows, title=f"\n== {name} =="))
+        hfi = profiles["hfi"]
+        top = ", ".join(f"{op}:{n}" for op, n in hfi.top(6))
+        print(f"hfi top opcodes: {top}")
+
+
+if __name__ == "__main__":
+    main()

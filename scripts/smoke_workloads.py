@@ -1,0 +1,46 @@
+"""Dev smoke: run a workload suite across strategies, print ratios."""
+
+import sys
+import time
+
+from repro.wasm import (
+    BoundsCheckStrategy,
+    GuardPagesStrategy,
+    HfiEmulationStrategy,
+    HfiStrategy,
+    WasmRuntime,
+)
+
+
+def main(which: str, scale: int = 1) -> None:
+    if which == "sightglass":
+        from repro.workloads.sightglass import SIGHTGLASS_BENCHMARKS as SUITE
+    else:
+        from repro.workloads.spec import SPEC_BENCHMARKS as SUITE
+    for name, builder in SUITE.items():
+        mod = builder(scale)
+        results = {}
+        t0 = time.time()
+        for strat in (GuardPagesStrategy(), BoundsCheckStrategy(),
+                      HfiStrategy(), HfiEmulationStrategy()):
+            rt = WasmRuntime()
+            inst = rt.instantiate(mod, strat)
+            res = rt.run(inst)
+            g = rt.space.read(inst.layout.globals_base)
+            results[strat.name] = (res.reason, g, res.stats.cycles,
+                                   res.stats.instructions)
+        vals = {v[1] for v in results.values()}
+        ok = "OK " if len(vals) == 1 and all(
+            v[0] == "hlt" for v in results.values()) else "BAD"
+        gp = results["guard-pages"][2]
+        bc = results["bounds-check"][2]
+        hf = results["hfi"][2]
+        em = results["hfi-emulation"][2]
+        print(f"{ok} {name:16s} insn={results['guard-pages'][3]:7d} "
+              f"gp={gp:9d} bc={bc/gp:5.2f} hfi={hf/gp:5.2f} "
+              f"emu/hfi={em/hf:5.3f} t={time.time()-t0:.1f}s", flush=True)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "sightglass",
+         int(sys.argv[2]) if len(sys.argv) > 2 else 1)

@@ -1,0 +1,10 @@
+"""Setuptools shim: metadata lives in setup.cfg.
+
+A plain ``setup.py`` (rather than a PEP 517 build-system table) keeps
+``pip install -e .`` working in offline environments that lack the
+``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

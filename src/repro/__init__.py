@@ -1,0 +1,25 @@
+"""repro — a reproduction of "Going beyond the Limits of SFI:
+Flexible and Secure Hardware-Assisted In-Process Isolation with HFI"
+(Narayan et al., ASPLOS 2023).
+
+Layered public API:
+
+* :mod:`repro.core` — the HFI ISA extension semantics (the paper's
+  contribution).
+* :mod:`repro.isa`, :mod:`repro.cpu` — the x86-64-like ISA and the
+  cycle-level simulator (the gem5 analogue).
+* :mod:`repro.os`, :mod:`repro.mpk` — OS and Intel-MPK substrates.
+* :mod:`repro.wasm` — the Wasm-like SFI toolchain with pluggable
+  isolation strategies.
+* :mod:`repro.runtime` — trusted runtimes: sandbox manager and the
+  FaaS platform model.
+* :mod:`repro.attacks`, :mod:`repro.workloads` — the Spectre test
+  suite and the evaluation workloads.
+"""
+
+from .params import DEFAULT_PARAMS, MachineParams, skylake, tigerlake
+
+__version__ = "1.0.0"
+
+__all__ = ["MachineParams", "DEFAULT_PARAMS", "skylake", "tigerlake",
+           "__version__"]

@@ -1,0 +1,77 @@
+"""Workload instruction-mix profiling.
+
+Runs a workload under a strategy with a :class:`~repro.cpu.Tracer`
+attached and reports the committed-instruction mix — used in
+EXPERIMENTS.md to explain *why* a strategy wins or loses on a workload
+(bounds checks show up as extra cmp/lea/ja; HFI as hmov; Swivel as
+interlock ALU ops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..cpu.trace import Tracer
+from ..isa.opcodes import CONDITIONAL_JUMPS, HMOV_REGION, Opcode
+from ..params import DEFAULT_PARAMS, MachineParams
+from ..wasm import WasmRuntime, make_strategy
+from ..wasm.ir import Module
+
+
+@dataclass
+class MixProfile:
+    """Summary of one (workload, strategy) run."""
+
+    workload: str
+    strategy: str
+    cycles: int
+    instructions: int
+    mix: Dict[str, int]
+    memory_ops: int
+    branches: int
+    hfi_ops: int
+    binary_size: int
+
+    @property
+    def ipc_proxy(self) -> float:
+        """Instructions per cycle (a proxy; the model is in-order)."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def top(self, n: int = 8):
+        return sorted(self.mix.items(), key=lambda kv: -kv[1])[:n]
+
+
+def profile(module: Module, strategy_name: str,
+            params: MachineParams = DEFAULT_PARAMS) -> MixProfile:
+    """Run ``module`` under ``strategy_name`` and profile the mix."""
+    runtime = WasmRuntime(params)
+    tracer = Tracer(record_entries=False)
+    runtime.cpu.tracer = tracer
+    instance = runtime.instantiate(module, make_strategy(strategy_name))
+    result = runtime.run(instance)
+    if result.reason != "hlt":
+        raise RuntimeError(
+            f"{module.name} under {strategy_name}: {result.reason}")
+    memory_ops = (tracer.mix[Opcode.MOV]
+                  + sum(tracer.mix[op] for op in HMOV_REGION)
+                  + tracer.mix[Opcode.PUSH] + tracer.mix[Opcode.POP])
+    branches = sum(tracer.mix[op] for op in CONDITIONAL_JUMPS)
+    return MixProfile(
+        workload=module.name,
+        strategy=strategy_name,
+        cycles=result.stats.cycles,
+        instructions=result.stats.instructions,
+        mix={op.value: count for op, count in tracer.mix.items()},
+        memory_ops=memory_ops,
+        branches=branches,
+        hfi_ops=tracer.hfi_instruction_count(),
+        binary_size=instance.compiled.binary_size,
+    )
+
+
+def compare(module: Module, strategy_names,
+            params: MachineParams = DEFAULT_PARAMS) -> Dict[str, MixProfile]:
+    """Profile one module under several strategies."""
+    return {name: profile(module, name, params)
+            for name in strategy_names}

@@ -1,0 +1,45 @@
+"""Small statistics helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean — the aggregate Fig. 3 and §6.1 report."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)
+
+
+def median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def normalize(values: Dict[str, float], baseline: str) -> Dict[str, float]:
+    """Express every entry relative to ``values[baseline]``."""
+    base = values[baseline]
+    return {name: value / base for name, value in values.items()}
+
+
+def pct_change(new: float, old: float) -> float:
+    """Percent change of ``new`` relative to ``old``."""
+    return 100.0 * (new - old) / old
+
+
+def speedup_pct(new: float, old: float) -> float:
+    """How much faster ``new`` is than ``old`` (positive = faster)."""
+    return 100.0 * (1.0 - new / old)

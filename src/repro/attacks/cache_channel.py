@@ -1,0 +1,69 @@
+"""The flush+reload cache side channel used by the Spectre PoCs (§5.3).
+
+The transmitter is a speculative load of ``probe_base + secret*stride``;
+the receiver flushes the probe array, lets the victim run, then times
+one load per slot.  A slot whose latency is below the threshold was
+filled during speculation — its index is the leaked byte.
+
+Timing here is exactly what an ``rdtsc``-bracketed load observes on the
+simulator: base cost + the cache hierarchy's access latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..cpu.machine import Cpu
+
+#: Slot spacing: one byte value per cache-line-disjoint slot (the
+#: classic 512-byte stride defeats adjacent-line prefetching).
+PROBE_STRIDE = 512
+PROBE_SLOTS = 256
+
+
+@dataclass
+class ProbeArray:
+    """A flush+reload probe array in the victim's address space."""
+
+    base: int
+    stride: int = PROBE_STRIDE
+    slots: int = PROBE_SLOTS
+
+    @property
+    def bytes_needed(self) -> int:
+        return self.stride * self.slots
+
+    def slot_addr(self, value: int) -> int:
+        return self.base + value * self.stride
+
+
+def flush_probe(cpu: Cpu, probe: ProbeArray) -> None:
+    """clflush every probe slot (receiver-side, pre-victim)."""
+    for value in range(probe.slots):
+        cpu.caches.flush_line(probe.slot_addr(value))
+
+
+def reload_latencies(cpu: Cpu, probe: ProbeArray) -> List[int]:
+    """Time one load per slot, as an rdtsc-bracketed loop would.
+
+    Returns the per-slot access latencies in cycles.  (The measurement
+    itself fills lines, but each slot is measured before its own fill,
+    so a single pass is sound.)
+    """
+    latencies = []
+    for value in range(probe.slots):
+        latencies.append(cpu.params.base_cycles
+                         + cpu.caches.data_access(probe.slot_addr(value)))
+    return latencies
+
+
+def hit_threshold(cpu: Cpu) -> int:
+    """Latency below which a slot counts as cached (L2 hit or better)."""
+    return cpu.params.l2_hit_cycles + cpu.params.base_cycles + 1
+
+
+def recover_byte(latencies: List[int], threshold: int) -> Dict[int, int]:
+    """Map byte-value -> latency for every slot under the threshold."""
+    return {value: lat for value, lat in enumerate(latencies)
+            if lat <= threshold}

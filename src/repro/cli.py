@@ -1,0 +1,246 @@
+"""Command-line interface: run workloads, attacks, and experiments.
+
+Examples::
+
+    repro-hfi list-workloads
+    repro-hfi run sieve --strategy hfi --scale 2
+    repro-hfi compare 445.gobmk --strategies guard-pages,bounds-check,hfi
+    repro-hfi attack pht --hfi
+    repro-hfi nginx
+    repro-hfi heap-growth
+
+(Installed as the ``repro-hfi`` console script; also runnable as
+``python -m repro.cli``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import format_table
+from .params import MachineParams
+from .wasm import STRATEGIES, WasmRuntime, make_strategy
+
+
+def _all_workloads():
+    from .workloads import FAAS_APPS, SIGHTGLASS_BENCHMARKS, SPEC_BENCHMARKS
+    table = {}
+    for suite, registry in (("sightglass", SIGHTGLASS_BENCHMARKS),
+                            ("spec2006", SPEC_BENCHMARKS),
+                            ("faas", FAAS_APPS)):
+        for name, builder in registry.items():
+            table[name] = (suite, builder)
+    return table
+
+
+def cmd_list_workloads(args) -> int:
+    rows = [(name, suite) for name, (suite, _) in
+            sorted(_all_workloads().items())]
+    print(format_table(["workload", "suite"], rows))
+    print(f"\nstrategies: {', '.join(sorted(STRATEGIES))}")
+    return 0
+
+
+def _run_one(name: str, strategy_name: str, scale: int):
+    workloads = _all_workloads()
+    if name not in workloads:
+        raise SystemExit(f"unknown workload {name!r}; "
+                         f"try: repro-hfi list-workloads")
+    _, builder = workloads[name]
+    module = builder(scale)
+    runtime = WasmRuntime(MachineParams())
+    instance = runtime.instantiate(module, make_strategy(strategy_name))
+    result = runtime.run(instance)
+    value = runtime.space.read(instance.layout.globals_base)
+    return result, value, instance
+
+
+def cmd_run(args) -> int:
+    result, value, instance = _run_one(args.workload, args.strategy,
+                                       args.scale)
+    stats = result.stats
+    print(f"workload:     {args.workload} (scale {args.scale})")
+    print(f"strategy:     {args.strategy}")
+    print(f"stopped:      {result.reason}")
+    if result.fault is not None:
+        print(f"fault:        {result.fault.kind} "
+              f"{result.fault.hfi_cause.name} at {result.fault.addr:#x}")
+    print(f"result:       {value:#x}")
+    print(f"cycles:       {stats.cycles:,}")
+    print(f"instructions: {stats.instructions:,}")
+    print(f"loads/stores: {stats.loads:,}/{stats.stores:,}")
+    print(f"branches:     {stats.branches:,} "
+          f"({stats.mispredicts:,} mispredicted)")
+    print(f"binary size:  {instance.compiled.binary_size:,} B")
+    return 0 if result.reason == "hlt" else 1
+
+
+def cmd_compare(args) -> int:
+    names = args.strategies.split(",")
+    rows = []
+    baseline = None
+    values = set()
+    for strategy_name in names:
+        result, value, instance = _run_one(args.workload, strategy_name,
+                                           args.scale)
+        values.add(value)
+        cycles = result.stats.cycles
+        if baseline is None:
+            baseline = cycles
+        rows.append((strategy_name, f"{cycles:,}",
+                     f"{100 * cycles / baseline:.1f}%",
+                     f"{instance.compiled.binary_size:,}"))
+    print(format_table(
+        ["strategy", "cycles", f"vs {names[0]}", "binary B"], rows,
+        title=f"{args.workload} (scale {args.scale})"))
+    if len(values) != 1:
+        print("WARNING: strategies disagreed on the result!")
+        return 1
+    return 0
+
+
+def cmd_attack(args) -> int:
+    from .attacks import (SpectreBtbAttack, SpectrePhtAttack,
+                          SpectreRsbAttack)
+    cls = {"pht": SpectrePhtAttack, "btb": SpectreBtbAttack,
+           "rsb": SpectreRsbAttack}[args.kind]
+    attack = cls(MachineParams(), protect_with_hfi=args.hfi)
+    result = attack.attack(secret_value=ord(args.secret))
+    shield = "with HFI" if args.hfi else "without HFI"
+    print(f"Spectre-{args.kind.upper()} {shield}:")
+    if result.leaked:
+        print(f"  LEAKED {chr(result.leaked_value)!r} "
+              f"(latency {result.hits[result.leaked_value]} cycles, "
+              f"threshold {result.threshold})")
+        return 1
+    print(f"  no leak: min latency {min(result.latencies)} cycles "
+          f"> threshold {result.threshold}")
+    return 0
+
+
+def cmd_nginx(args) -> int:
+    from .workloads import FILE_SIZES, NginxModel
+    model = NginxModel(MachineParams())
+    rows = []
+    for size in FILE_SIZES:
+        rows.append((f"{size >> 10}kb",
+                     f"{model.throughput_rps(size, 'unprotected'):,.0f}",
+                     f"{model.overhead_pct(size, 'hfi'):.2f}%",
+                     f"{model.overhead_pct(size, 'mpk'):.2f}%"))
+    print(format_table(
+        ["file size", "unprotected rps", "HFI overhead", "MPK overhead"],
+        rows, title="NGINX + sandboxed OpenSSL (Fig. 5)"))
+    return 0
+
+
+def cmd_heap_growth(args) -> int:
+    from .os import AddressSpace
+    from .wasm import WASM_PAGE, GuardPagesStrategy, HfiStrategy
+    params = MachineParams()
+    rows = []
+    for label, strategy in (("mprotect (guard pages)",
+                             GuardPagesStrategy()),
+                            ("hfi_set_region", HfiStrategy())):
+        space = AddressSpace(params)
+        base, _ = strategy.reserve_memory(space, WASM_PAGE)
+        total, size = 0, WASM_PAGE
+        target = args.gib << 30
+        while size < target:
+            total += params.memory_grow_bookkeeping_cycles
+            total += strategy.grow_cost(space, base, size,
+                                        size + WASM_PAGE, params)
+            size += WASM_PAGE
+        rows.append((label, f"{total:,}",
+                     f"{params.cycles_to_seconds(total):.3f}"))
+    print(format_table(["mechanism", "cycles", "modelled seconds"], rows,
+                       title=f"heap growth to {args.gib} GiB (§6.1)"))
+    return 0
+
+
+def cmd_chain(args) -> int:
+    from .runtime import ChainModel
+    model = ChainModel(MachineParams())
+    rows = []
+    for mechanism in ("in-process", "in-process-serialized", "ipc"):
+        cycles = model.chain_cycles(args.functions, mechanism=mechanism,
+                                    payload_bytes=args.payload)
+        rows.append((mechanism, f"{cycles:,}",
+                     f"{MachineParams().cycles_to_us(cycles):.2f}"))
+    print(format_table(["mechanism", "cycles", "us"], rows,
+                       title=(f"{args.functions}-function chain, "
+                              f"{args.payload}B payload (§2)")))
+    print(f"\nin-process advantage over IPC: "
+          f"{model.speedup(args.functions, args.payload):,.0f}x")
+    return 0
+
+
+def cmd_startup(args) -> int:
+    from .runtime import StartupModel
+    from .wasm import GuardPagesStrategy, HfiStrategy
+    model = StartupModel(MachineParams())
+    rows = [(k, f"{v:,.1f}")
+            for k, v in model.compare(HfiStrategy()).items()]
+    print(format_table(["mechanism", "startup (us)"], rows,
+                       title="context start-up latency (§1)"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-hfi",
+        description="HFI (ASPLOS '23) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-workloads",
+                   help="list workloads and strategies").set_defaults(
+        func=cmd_list_workloads)
+
+    p = sub.add_parser("run", help="run one workload under one strategy")
+    p.add_argument("workload")
+    p.add_argument("--strategy", default="hfi",
+                   choices=sorted(STRATEGIES))
+    p.add_argument("--scale", type=int, default=1)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("compare",
+                       help="run one workload under several strategies")
+    p.add_argument("workload")
+    p.add_argument("--strategies",
+                   default="guard-pages,bounds-check,hfi")
+    p.add_argument("--scale", type=int, default=1)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("attack", help="run a Spectre PoC")
+    p.add_argument("kind", choices=["pht", "btb", "rsb"])
+    p.add_argument("--hfi", action="store_true",
+                   help="protect the victim with HFI regions")
+    p.add_argument("--secret", default="I")
+    p.set_defaults(func=cmd_attack)
+
+    sub.add_parser("nginx", help="Fig. 5 throughput model").set_defaults(
+        func=cmd_nginx)
+
+    p = sub.add_parser("heap-growth", help="§6.1 growth comparison")
+    p.add_argument("--gib", type=int, default=1)
+    p.set_defaults(func=cmd_heap_growth)
+
+    p = sub.add_parser("chain", help="§2 function chaining vs IPC")
+    p.add_argument("--functions", type=int, default=4)
+    p.add_argument("--payload", type=int, default=4096)
+    p.set_defaults(func=cmd_chain)
+
+    sub.add_parser("startup",
+                   help="§1 start-up latency table").set_defaults(
+        func=cmd_startup)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

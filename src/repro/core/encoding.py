@@ -1,0 +1,99 @@
+"""Binary layout of HFI descriptors in memory.
+
+``hfi_set_region`` and ``hfi_enter`` take a pointer to an in-memory
+descriptor and move it into HFI's internal registers (§5.2 emulation:
+"moving the hfi region metadata from memory to general-purpose
+registers"; §6.4.2: "HFI takes a few cycles to move metadata from
+memory to HFI registers on each transition").  This module defines the
+layout so the cycle simulator performs *real* loads for those moves.
+
+Region descriptor (24 bytes, 3 words):
+  word0: type/permission flags
+  word1: base_prefix / base_address
+  word2: lsb_mask / bound
+
+Sandbox descriptor (16 bytes, 2 words):
+  word0: flags (bit0 is_hybrid, bit1 is_serialized, bit2 switch_on_exit)
+  word1: exit handler address
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+from .regions import (
+    ExplicitDataRegion,
+    ImplicitCodeRegion,
+    ImplicitDataRegion,
+    Region,
+)
+from .registers import SandboxFlags
+
+REGION_DESCRIPTOR_BYTES = 24
+SANDBOX_DESCRIPTOR_BYTES = 16
+
+_TYPE_CODE = 0
+_TYPE_IMPLICIT_DATA = 1
+_TYPE_EXPLICIT = 2
+
+_F_READ = 1 << 2
+_F_WRITE = 1 << 3
+_F_EXEC = 1 << 4
+_F_LARGE = 1 << 5
+
+
+def encode_region(region: Region) -> bytes:
+    """Pack a region descriptor into its 24-byte memory form."""
+    if isinstance(region, ImplicitCodeRegion):
+        flags = _TYPE_CODE | (_F_EXEC if region.permission_exec else 0)
+        return struct.pack("<QQQ", flags, region.base_prefix,
+                           region.lsb_mask)
+    if isinstance(region, ImplicitDataRegion):
+        flags = _TYPE_IMPLICIT_DATA
+        flags |= _F_READ if region.permission_read else 0
+        flags |= _F_WRITE if region.permission_write else 0
+        return struct.pack("<QQQ", flags, region.base_prefix,
+                           region.lsb_mask)
+    if isinstance(region, ExplicitDataRegion):
+        flags = _TYPE_EXPLICIT
+        flags |= _F_READ if region.permission_read else 0
+        flags |= _F_WRITE if region.permission_write else 0
+        flags |= _F_LARGE if region.is_large_region else 0
+        return struct.pack("<QQQ", flags, region.base_address, region.bound)
+    raise TypeError(f"not a region: {region!r}")
+
+
+def decode_region(data: bytes) -> Region:
+    """Unpack a 24-byte region descriptor."""
+    flags, word1, word2 = struct.unpack("<QQQ", data)
+    kind = flags & 0b11
+    if kind == _TYPE_CODE:
+        return ImplicitCodeRegion(base_prefix=word1, lsb_mask=word2,
+                                  permission_exec=bool(flags & _F_EXEC))
+    if kind == _TYPE_IMPLICIT_DATA:
+        return ImplicitDataRegion(base_prefix=word1, lsb_mask=word2,
+                                  permission_read=bool(flags & _F_READ),
+                                  permission_write=bool(flags & _F_WRITE))
+    if kind == _TYPE_EXPLICIT:
+        return ExplicitDataRegion(base_address=word1, bound=word2,
+                                  permission_read=bool(flags & _F_READ),
+                                  permission_write=bool(flags & _F_WRITE),
+                                  is_large_region=bool(flags & _F_LARGE))
+    raise ValueError(f"bad region descriptor type {kind}")
+
+
+def encode_sandbox(flags: SandboxFlags, exit_handler: int = 0) -> bytes:
+    """Pack an hfi_enter sandbox descriptor into its 16-byte form."""
+    word0 = ((1 if flags.is_hybrid else 0)
+             | (2 if flags.is_serialized else 0)
+             | (4 if flags.switch_on_exit else 0))
+    return struct.pack("<QQ", word0, exit_handler)
+
+
+def decode_sandbox(data: bytes) -> Tuple[SandboxFlags, int]:
+    """Unpack a 16-byte sandbox descriptor."""
+    word0, handler = struct.unpack("<QQ", data)
+    return SandboxFlags(is_hybrid=bool(word0 & 1),
+                        is_serialized=bool(word0 & 2),
+                        switch_on_exit=bool(word0 & 4)), handler

@@ -1,0 +1,199 @@
+"""HFI regions: the paper's mechanism for controlling memory access.
+
+Two kinds (paper §3.2):
+
+* **Implicit regions** check *every* memory access (or instruction
+  fetch) by prefix matching: ``lsb_mask`` strips the low bits of the
+  address and the remainder is compared against ``base_prefix``.  They
+  are therefore power-of-two sized and aligned — granularity traded
+  for a check that is four AND gates and an equality compare (§4).
+  HFI provides two code regions and four data regions.
+
+* **Explicit regions** are (base, bound) handles accessed through
+  ``hmov``.  *Large* regions are 64 KiB-aligned and reach up to 2^48
+  bytes; *small* regions are byte-granular up to 4 GiB but must not
+  span a 4 GiB boundary.  These constraints let hardware bounds-check
+  with a single 32-bit comparator (§4.2).  HFI provides four.
+
+Region numbering follows the paper's appendix: 0-1 code, 2-5 implicit
+data, 6-9 explicit data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+KIB64 = 1 << 16
+GIB4 = 1 << 32
+LARGE_MAX_BOUND = 1 << 48
+SMALL_MAX_BOUND = 1 << 32
+
+NUM_CODE_REGIONS = 2
+NUM_IMPLICIT_DATA_REGIONS = 4
+NUM_EXPLICIT_REGIONS = 4
+
+#: First region number of each class (paper appendix A.1).
+CODE_BASE_NUMBER = 0
+IMPLICIT_DATA_BASE_NUMBER = 2
+EXPLICIT_BASE_NUMBER = 6
+NUM_REGIONS = (NUM_CODE_REGIONS + NUM_IMPLICIT_DATA_REGIONS
+               + NUM_EXPLICIT_REGIONS)
+
+
+class RegionError(ValueError):
+    """A region descriptor violates HFI's structural constraints."""
+
+
+def _validate_prefix(base_prefix: int, lsb_mask: int) -> None:
+    if lsb_mask < 0 or base_prefix < 0:
+        raise RegionError("prefix fields must be non-negative")
+    if lsb_mask & (lsb_mask + 1):
+        raise RegionError(
+            f"lsb_mask {lsb_mask:#x} must be contiguous low bits (2^k - 1)")
+    if base_prefix & lsb_mask:
+        raise RegionError(
+            f"base_prefix {base_prefix:#x} not aligned to mask {lsb_mask:#x}")
+
+
+@dataclass(frozen=True)
+class ImplicitCodeRegion:
+    """Prefix-matched region bounding instruction fetch (execute perm)."""
+
+    base_prefix: int
+    lsb_mask: int
+    permission_exec: bool = True
+
+    def __post_init__(self) -> None:
+        _validate_prefix(self.base_prefix, self.lsb_mask)
+
+    def matches(self, addr: int) -> bool:
+        return (addr & ~self.lsb_mask) == self.base_prefix
+
+    @property
+    def size(self) -> int:
+        return self.lsb_mask + 1
+
+    @classmethod
+    def covering(cls, base: int, size: int,
+                 execute: bool = True) -> "ImplicitCodeRegion":
+        """Build the smallest aligned region covering ``[base, base+size)``."""
+        mask = _covering_mask(base, size)
+        return cls(base_prefix=base & ~mask, lsb_mask=mask,
+                   permission_exec=execute)
+
+
+@dataclass(frozen=True)
+class ImplicitDataRegion:
+    """Prefix-matched region checked on every load/store (except hmov)."""
+
+    base_prefix: int
+    lsb_mask: int
+    permission_read: bool = False
+    permission_write: bool = False
+
+    def __post_init__(self) -> None:
+        _validate_prefix(self.base_prefix, self.lsb_mask)
+
+    def matches(self, addr: int) -> bool:
+        return (addr & ~self.lsb_mask) == self.base_prefix
+
+    @property
+    def size(self) -> int:
+        return self.lsb_mask + 1
+
+    @classmethod
+    def covering(cls, base: int, size: int, read: bool = True,
+                 write: bool = True) -> "ImplicitDataRegion":
+        mask = _covering_mask(base, size)
+        return cls(base_prefix=base & ~mask, lsb_mask=mask,
+                   permission_read=read, permission_write=write)
+
+
+def _covering_mask(base: int, size: int) -> int:
+    """Smallest ``2^k - 1`` mask so an aligned region covers the range."""
+    if size <= 0:
+        raise RegionError("size must be positive")
+    mask = 1
+    while True:
+        prefix = base & ~(mask - 1)
+        if base + size <= prefix + mask:
+            return mask - 1
+        mask <<= 1
+
+
+@dataclass(frozen=True)
+class ExplicitDataRegion:
+    """A (base, bound) handle addressed relatively via ``hmov`` (§3.2).
+
+    ``bound`` is the region *size* in bytes; valid offsets are
+    ``[0, bound)`` relative to ``base_address``.
+    """
+
+    base_address: int
+    bound: int
+    permission_read: bool = False
+    permission_write: bool = False
+    is_large_region: bool = True
+
+    def __post_init__(self) -> None:
+        if self.base_address < 0 or self.bound < 0:
+            raise RegionError("base/bound must be non-negative")
+        if self.is_large_region:
+            if self.base_address % KIB64:
+                raise RegionError(
+                    f"large region base {self.base_address:#x} must be "
+                    f"64 KiB aligned")
+            if self.bound % KIB64:
+                raise RegionError(
+                    f"large region bound {self.bound:#x} must be a "
+                    f"multiple of 64 KiB")
+            if self.bound > LARGE_MAX_BOUND:
+                raise RegionError("large region bound exceeds 2^48")
+        else:
+            if self.bound > SMALL_MAX_BOUND:
+                raise RegionError("small region bound exceeds 4 GiB")
+            if self.bound and (self.base_address // GIB4
+                               != (self.base_address + self.bound - 1) // GIB4):
+                raise RegionError(
+                    "small region must not span a 4 GiB boundary (§3.2)")
+
+    @property
+    def end(self) -> int:
+        return self.base_address + self.bound
+
+    def resize(self, new_bound: int) -> "ExplicitDataRegion":
+        """Return a copy with a new bound — HFI heap growth (§6.1) is
+        exactly this single register update."""
+        return ExplicitDataRegion(
+            base_address=self.base_address, bound=new_bound,
+            permission_read=self.permission_read,
+            permission_write=self.permission_write,
+            is_large_region=self.is_large_region)
+
+
+Region = Union[ImplicitCodeRegion, ImplicitDataRegion, ExplicitDataRegion]
+
+
+def region_class(number: int) -> str:
+    """Map a region number to its class name (paper appendix A.1)."""
+    if not 0 <= number < NUM_REGIONS:
+        raise RegionError(f"region number {number} out of range")
+    if number < IMPLICIT_DATA_BASE_NUMBER:
+        return "code"
+    if number < EXPLICIT_BASE_NUMBER:
+        return "implicit_data"
+    return "explicit_data"
+
+
+def check_region_type(number: int, region: Region) -> None:
+    """Trap if a descriptor's type doesn't match its register slot."""
+    cls = region_class(number)
+    ok = (
+        (cls == "code" and isinstance(region, ImplicitCodeRegion))
+        or (cls == "implicit_data" and isinstance(region, ImplicitDataRegion))
+        or (cls == "explicit_data" and isinstance(region, ExplicitDataRegion))
+    )
+    if not ok:
+        raise RegionError(
+            f"region {number} is a {cls} slot; got {type(region).__name__}")

@@ -1,0 +1,17 @@
+"""Cycle-level CPU simulator with HFI hooks — the gem5 analogue."""
+
+from .cache import Cache, CacheHierarchy, CacheStats
+from .machine import Cpu, CpuStats, FaultInfo, RunResult
+from .predictors import (
+    BranchTargetBuffer,
+    PatternHistoryTable,
+    ReturnStackBuffer,
+)
+from .tlb import Tlb
+from .trace import TraceEntry, Tracer
+
+__all__ = [
+    "Cpu", "CpuStats", "FaultInfo", "RunResult", "Cache", "CacheHierarchy",
+    "CacheStats", "Tlb", "PatternHistoryTable", "BranchTargetBuffer",
+    "ReturnStackBuffer", "Tracer", "TraceEntry",
+]

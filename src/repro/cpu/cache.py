@@ -1,0 +1,122 @@
+"""Set-associative caches with LRU replacement and visible timing.
+
+Two properties carry the security story (paper §4.1):
+
+* Speculative loads that *pass* HFI's checks fill the cache — that is
+  the Spectre transmission channel flush+reload observes.
+* Loads that *fail* HFI's checks never reach the cache: all bounds
+  checks resolve before the physical address does, so no metadata (not
+  even LRU bits) changes on a fault.
+
+The simulator enforces the second property simply by never calling
+:meth:`Cache.access` for a faulting access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..params import DEFAULT_PARAMS, MachineParams
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """One level of set-associative cache, LRU within each set."""
+
+    def __init__(self, sets: int, ways: int, line_bytes: int = 64):
+        self.n_sets = sets
+        self.ways = ways
+        self.line_bytes = line_bytes
+        # Each set is an insertion-ordered dict of tag -> True; the
+        # first key is the LRU victim.
+        self._sets: List[Dict[int, bool]] = [dict() for _ in range(sets)]
+        self.stats = CacheStats()
+
+    def _locate(self, addr: int) -> Tuple[int, int]:
+        line = addr // self.line_bytes
+        return line % self.n_sets, line // self.n_sets
+
+    def lookup(self, addr: int) -> bool:
+        """Probe without updating replacement state (telemetry only)."""
+        set_idx, tag = self._locate(addr)
+        return tag in self._sets[set_idx]
+
+    def access(self, addr: int) -> bool:
+        """Access a line: returns True on hit.  Fills on miss."""
+        set_idx, tag = self._locate(addr)
+        ways = self._sets[set_idx]
+        if tag in ways:
+            # refresh LRU position
+            del ways[tag]
+            ways[tag] = True
+            self.stats.hits += 1
+            return True
+        if len(ways) >= self.ways:
+            victim = next(iter(ways))
+            del ways[victim]
+        ways[tag] = True
+        self.stats.misses += 1
+        return False
+
+    def flush_line(self, addr: int) -> None:
+        """clflush: evict the line containing ``addr`` if present."""
+        set_idx, tag = self._locate(addr)
+        self._sets[set_idx].pop(tag, None)
+
+    def flush_all(self) -> None:
+        for ways in self._sets:
+            ways.clear()
+
+
+class CacheHierarchy:
+    """L1 + unified L2 in front of memory; returns access latencies.
+
+    The latencies are what ``rdtsc``-timed probe loops observe — the
+    measurement Fig. 7 plots.
+    """
+
+    def __init__(self, params: MachineParams = DEFAULT_PARAMS):
+        self.params = params
+        self.l1d = Cache(params.l1d_sets, params.l1d_ways, params.line_bytes)
+        self.l1i = Cache(params.l1i_sets, params.l1i_ways, params.line_bytes)
+        self.l2 = Cache(params.l1d_sets * 16, params.l1d_ways,
+                        params.line_bytes)
+
+    def data_access(self, addr: int) -> int:
+        """Load/store timing: L1 hit, L2 hit, or memory."""
+        if self.l1d.access(addr):
+            return self.params.l1d_hit_cycles
+        if self.l2.access(addr):
+            return self.params.l2_hit_cycles
+        return self.params.mem_cycles
+
+    def fetch_access(self, addr: int) -> int:
+        """Instruction-fetch timing."""
+        if self.l1i.access(addr):
+            return self.params.l1i_hit_cycles
+        if self.l2.access(addr):
+            return self.params.l1i_miss_cycles
+        return self.params.mem_cycles
+
+    def flush_line(self, addr: int) -> None:
+        self.l1d.flush_line(addr)
+        self.l2.flush_line(addr)
+
+    def flush_all(self) -> None:
+        self.l1d.flush_all()
+        self.l1i.flush_all()
+        self.l2.flush_all()

@@ -1,0 +1,71 @@
+"""Branch prediction structures: PHT, BTB, and RSB.
+
+These are the speculation sources the paper's §5.3 security evaluation
+exercises: Spectre-PHT trains the pattern history table; Spectre-BTB
+poisons the branch target buffer.  HFI does not change how predictors
+are trained (§3.4's final caveat) — it constrains what *speculatively
+fetched* code and data can do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class PatternHistoryTable:
+    """Per-PC 2-bit saturating counters (taken >= 2)."""
+
+    def __init__(self, size: int = 1024):
+        self.size = size
+        self._counters: List[int] = [1] * size  # weakly not-taken
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) % self.size
+
+    def predict(self, pc: int) -> bool:
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        idx = self._index(pc)
+        counter = self._counters[idx]
+        self._counters[idx] = (min(3, counter + 1) if taken
+                               else max(0, counter - 1))
+
+
+class BranchTargetBuffer:
+    """PC -> predicted target for indirect branches, LRU-bounded."""
+
+    def __init__(self, size: int = 512):
+        self.size = size
+        self._targets: Dict[int, int] = {}
+
+    def predict(self, pc: int) -> Optional[int]:
+        target = self._targets.get(pc)
+        if target is not None:
+            del self._targets[pc]
+            self._targets[pc] = target
+        return target
+
+    def update(self, pc: int, target: int) -> None:
+        if pc in self._targets:
+            del self._targets[pc]
+        elif len(self._targets) >= self.size:
+            victim = next(iter(self._targets))
+            del self._targets[victim]
+        self._targets[pc] = target
+
+
+class ReturnStackBuffer:
+    """A small circular stack of predicted return addresses."""
+
+    def __init__(self, depth: int = 16):
+        self.depth = depth
+        self._stack: List[int] = []
+
+    def push(self, addr: int) -> None:
+        if len(self._stack) >= self.depth:
+            del self._stack[0]
+        self._stack.append(addr)
+
+    def pop(self) -> Optional[int]:
+        return self._stack.pop() if self._stack else None

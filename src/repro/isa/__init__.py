@@ -1,0 +1,41 @@
+"""Reduced x86-64-like ISA with the HFI extension.
+
+Public surface: :class:`Reg`, operand types, :class:`Opcode`,
+:class:`Instruction`, :class:`Program`, and :class:`Assembler`.
+"""
+
+from .assembler import Assembler, AssemblerError
+from .disasm import disassemble, format_instruction
+from .instruction import Instruction, Program, encoded_length
+from .opcodes import (
+    CONDITIONAL_JUMPS,
+    CONTROL_FLOW,
+    HFI_OPS,
+    HFI_REGION_OPS,
+    HMOV_REGION,
+    SERIALIZING,
+    SYSCALL_OPS,
+    Opcode,
+)
+from .operands import Imm, LabelRef, Mem, Operand
+from .registers import (
+    ALLOCATABLE,
+    CALLEE_SAVED,
+    CALLER_SAVED,
+    MASK64,
+    Flags,
+    Reg,
+    RegisterFile,
+    to_signed,
+    to_unsigned,
+)
+
+__all__ = [
+    "Assembler", "AssemblerError", "disassemble", "format_instruction",
+    "Instruction", "Program",
+    "encoded_length", "Opcode", "Imm", "LabelRef", "Mem", "Operand",
+    "Reg", "RegisterFile", "Flags", "MASK64", "ALLOCATABLE",
+    "CALLER_SAVED", "CALLEE_SAVED", "to_signed", "to_unsigned",
+    "CONDITIONAL_JUMPS", "CONTROL_FLOW", "HFI_OPS", "HFI_REGION_OPS",
+    "HMOV_REGION", "SERIALIZING", "SYSCALL_OPS",
+]

@@ -1,0 +1,61 @@
+"""Disassembly listings for assembled programs.
+
+Developer tooling: renders a :class:`~repro.isa.instruction.Program`
+as a labelled, addressed listing — useful for inspecting what an
+isolation strategy actually emitted around each memory access.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .instruction import Instruction, Program
+from .opcodes import HMOV_REGION
+from .operands import Imm, Mem
+from .registers import Reg
+
+
+def format_operand(op) -> str:
+    if isinstance(op, Reg):
+        return f"%{op.value}"
+    if isinstance(op, Imm):
+        return f"${op.value:#x}" if abs(op.value) > 9 else f"${op.value}"
+    if isinstance(op, Mem):
+        return repr(op)
+    return repr(op)
+
+
+def format_instruction(ins: Instruction,
+                       label_for: Optional[dict] = None) -> str:
+    mnemonic = ins.opcode.value
+    ops = []
+    for op in ins.operands:
+        if (label_for and isinstance(op, Imm)
+                and op.value in label_for):
+            ops.append(f"<{label_for[op.value]}>")
+        else:
+            ops.append(format_operand(op))
+    text = f"{mnemonic} {', '.join(ops)}".strip()
+    if ins.comment:
+        text = f"{text:40s} ; {ins.comment}"
+    return text
+
+
+def disassemble(program: Program, *, start: Optional[int] = None,
+                count: Optional[int] = None) -> str:
+    """Render the program (or a window of it) as a listing."""
+    label_for = {addr: name for name, addr in program.labels.items()}
+    lines = []
+    instructions: Iterable[Instruction] = program.instructions
+    if start is not None:
+        instructions = [i for i in instructions if i.addr >= start]
+    if count is not None:
+        instructions = list(instructions)[:count]
+    for ins in instructions:
+        if ins.addr in label_for:
+            lines.append(f"{label_for[ins.addr]}:")
+        marker = "*" if ins.opcode in HMOV_REGION else " "
+        lines.append(f"  {ins.addr:#010x} {marker} "
+                     f"[{ins.length:2d}B] "
+                     f"{format_instruction(ins, label_for)}")
+    return "\n".join(lines)

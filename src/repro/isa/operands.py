@@ -1,0 +1,64 @@
+"""Instruction operands: immediates, registers, memory references, labels.
+
+Memory operands follow the full x86 addressing form
+``[base + index*scale + disp]``; ``hmov`` instructions reuse the same
+form but the base is *replaced* by an HFI explicit-region base at
+execute time (paper §3.2 / §4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from .registers import Reg
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate (constant) operand."""
+
+    value: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"${self.value:#x}" if abs(self.value) > 9 else f"${self.value}"
+
+
+@dataclass(frozen=True)
+class Mem:
+    """A memory operand ``[base + index*scale + disp]`` of ``size`` bytes."""
+
+    base: Optional[Reg] = None
+    index: Optional[Reg] = None
+    scale: int = 1
+    disp: int = 0
+    size: int = 8
+
+    def __post_init__(self) -> None:
+        if self.scale not in (1, 2, 4, 8):
+            raise ValueError(f"invalid scale {self.scale}")
+        if self.size not in (1, 2, 4, 8):
+            raise ValueError(f"invalid operand size {self.size}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = []
+        if self.base is not None:
+            parts.append(self.base.value)
+        if self.index is not None:
+            parts.append(f"{self.index.value}*{self.scale}")
+        if self.disp or not parts:
+            parts.append(f"{self.disp:#x}")
+        return f"[{' + '.join(parts)}]"
+
+
+@dataclass(frozen=True)
+class LabelRef:
+    """A symbolic reference to a code label, resolved by the assembler."""
+
+    name: str
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"@{self.name}"
+
+
+Operand = Union[Imm, Reg, Mem, LabelRef]

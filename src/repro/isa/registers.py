@@ -1,0 +1,104 @@
+"""General-purpose registers and flags for the reduced x86-64-like ISA.
+
+The simulator models the 16 x86-64 general-purpose registers plus the
+instruction pointer and a condition-flags word.  Register identity is a
+plain :class:`enum.Enum`; architectural state lives in
+:class:`RegisterFile`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+MASK64 = (1 << 64) - 1
+
+
+class Reg(enum.Enum):
+    """The sixteen x86-64 general-purpose registers."""
+
+    RAX = "rax"
+    RBX = "rbx"
+    RCX = "rcx"
+    RDX = "rdx"
+    RSI = "rsi"
+    RDI = "rdi"
+    RBP = "rbp"
+    RSP = "rsp"
+    R8 = "r8"
+    R9 = "r9"
+    R10 = "r10"
+    R11 = "r11"
+    R12 = "r12"
+    R13 = "r13"
+    R14 = "r14"
+    R15 = "r15"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"%{self.value}"
+
+
+#: Registers a compiler may allocate freely (RSP is the stack pointer).
+ALLOCATABLE = [r for r in Reg if r is not Reg.RSP]
+
+#: x86-64 SysV caller-saved registers (used by transition code).
+CALLER_SAVED = [
+    Reg.RAX, Reg.RCX, Reg.RDX, Reg.RSI, Reg.RDI,
+    Reg.R8, Reg.R9, Reg.R10, Reg.R11,
+]
+
+#: x86-64 SysV callee-saved registers.
+CALLEE_SAVED = [Reg.RBX, Reg.RBP, Reg.R12, Reg.R13, Reg.R14, Reg.R15]
+
+
+@dataclass
+class Flags:
+    """Condition flags produced by ALU operations."""
+
+    zf: bool = False  # zero
+    sf: bool = False  # sign
+    cf: bool = False  # carry (unsigned overflow)
+    of: bool = False  # signed overflow
+
+    def copy(self) -> "Flags":
+        return Flags(self.zf, self.sf, self.cf, self.of)
+
+
+@dataclass
+class RegisterFile:
+    """Architectural register state: 16 GPRs, RIP, and flags.
+
+    Values are stored as unsigned 64-bit integers; helpers convert to and
+    from two's-complement signed interpretation where needed.
+    """
+
+    regs: Dict[Reg, int] = field(default_factory=lambda: {r: 0 for r in Reg})
+    rip: int = 0
+    flags: Flags = field(default_factory=Flags)
+
+    def read(self, reg: Reg) -> int:
+        return self.regs[reg]
+
+    def write(self, reg: Reg, value: int) -> None:
+        self.regs[reg] = value & MASK64
+
+    def copy(self) -> "RegisterFile":
+        clone = RegisterFile()
+        clone.regs = dict(self.regs)
+        clone.rip = self.rip
+        clone.flags = self.flags.copy()
+        return clone
+
+
+def to_signed(value: int, bits: int = 64) -> int:
+    """Interpret ``value`` as a two's-complement signed integer."""
+    value &= (1 << bits) - 1
+    if value >= 1 << (bits - 1):
+        value -= 1 << bits
+    return value
+
+
+def to_unsigned(value: int, bits: int = 64) -> int:
+    """Wrap ``value`` into the unsigned ``bits``-wide range."""
+    return value & ((1 << bits) - 1)

@@ -1,0 +1,20 @@
+"""Intel MPK baseline (ERIM-style in-process isolation)."""
+
+from .domains import (
+    AD,
+    NUM_KEYS,
+    USABLE_KEYS,
+    WD,
+    MpkDomain,
+    MpkDomainManager,
+    MpkError,
+    MpkSandboxSwitcher,
+    pkru_allowing,
+    pkru_read_only,
+)
+
+__all__ = [
+    "MpkDomain", "MpkDomainManager", "MpkError", "MpkSandboxSwitcher",
+    "pkru_allowing", "pkru_read_only", "NUM_KEYS", "USABLE_KEYS", "AD",
+    "WD",
+]

@@ -1,0 +1,27 @@
+"""OS substrate: virtual memory, syscalls, seccomp, signals, processes."""
+
+from .address_space import (
+    PAGE,
+    AccessKind,
+    AddressSpace,
+    OutOfAddressSpace,
+    PageFault,
+    Prot,
+    Vma,
+    page_align_down,
+    page_align_up,
+)
+from .filesystem import FileSystem, OpenFile
+from .kernel import EBADF, ENOENT, ENOSYS, EPERM, Kernel, Sys, SyscallResult
+from .process import ContextSwitcher, Process, XSaveArea
+from .seccomp import SeccompAction, SeccompFilter, SeccompRule
+from .signals import Handler, SigInfo, Signal, SignalTable
+
+__all__ = [
+    "PAGE", "AccessKind", "AddressSpace", "OutOfAddressSpace", "PageFault",
+    "Prot", "Vma", "page_align_down", "page_align_up", "FileSystem",
+    "OpenFile", "Kernel", "Sys", "SyscallResult", "EBADF", "ENOENT",
+    "ENOSYS", "EPERM", "ContextSwitcher", "Process", "XSaveArea",
+    "SeccompAction", "SeccompFilter", "SeccompRule", "Handler", "SigInfo",
+    "Signal", "SignalTable",
+]

@@ -1,0 +1,53 @@
+"""A tiny in-memory filesystem backing the file syscalls.
+
+Exists so the §6.4.1 interposition benchmark (open/read/close x100,000)
+exercises a real syscall path rather than a stub.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class OpenFile:
+    """An open file description: shared content plus a cursor."""
+
+    name: str
+    data: bytes
+    offset: int = 0
+
+
+@dataclass
+class FileSystem:
+    """Flat namespace of in-memory files."""
+
+    files: Dict[str, bytes] = field(default_factory=dict)
+
+    def create(self, name: str, data: bytes) -> None:
+        self.files[name] = bytes(data)
+
+    def exists(self, name: str) -> bool:
+        return name in self.files
+
+    def open(self, name: str) -> OpenFile:
+        if name not in self.files:
+            raise FileNotFoundError(name)
+        return OpenFile(name=name, data=self.files[name])
+
+    def read(self, handle: OpenFile, count: int) -> bytes:
+        chunk = handle.data[handle.offset:handle.offset + count]
+        handle.offset += len(chunk)
+        return chunk
+
+    def write(self, handle: OpenFile, data: bytes) -> int:
+        content = bytearray(self.files[handle.name])
+        end = handle.offset + len(data)
+        if end > len(content):
+            content.extend(b"\x00" * (end - len(content)))
+        content[handle.offset:end] = data
+        self.files[handle.name] = bytes(content)
+        handle.data = self.files[handle.name]
+        handle.offset = end
+        return len(data)

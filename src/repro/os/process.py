@@ -1,0 +1,94 @@
+"""Processes and kernel context switching, including HFI register save.
+
+Paper §3.3.3: multiple processes can use HFI concurrently if the OS
+saves HFI registers alongside general-purpose registers; HFI extends
+``xsave``/``xrstor`` with a ``save-hfi-regs`` flag, and executing
+``xrstor`` with that flag inside a native sandbox traps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..isa.registers import RegisterFile
+from ..params import DEFAULT_PARAMS, MachineParams
+from .address_space import AddressSpace
+from .filesystem import OpenFile
+from .seccomp import SeccompFilter
+from .signals import SignalTable
+
+
+@dataclass
+class XSaveArea:
+    """The saved extended state of a process (registers + HFI regs)."""
+
+    registers: Optional[RegisterFile] = None
+    hfi_snapshot: Optional[Any] = None
+    pkru: int = 0
+
+
+@dataclass
+class Process:
+    """A process: address space, register context, fds, filters, signals."""
+
+    pid: int
+    address_space: AddressSpace
+    registers: RegisterFile = field(default_factory=RegisterFile)
+    fd_table: Dict[int, OpenFile] = field(default_factory=dict)
+    next_fd: int = 3
+    seccomp: Optional[SeccompFilter] = None
+    signals: SignalTable = field(default_factory=SignalTable)
+    #: HFI per-core state while this process is scheduled (duck-typed
+    #: to avoid a dependency cycle; it is a ``repro.core.HfiState``).
+    hfi_state: Optional[Any] = None
+    pkru: int = 0
+
+    def allocate_fd(self, handle: OpenFile) -> int:
+        fd = self.next_fd
+        self.next_fd += 1
+        self.fd_table[fd] = handle
+        return fd
+
+
+class ContextSwitcher:
+    """Models the OS scheduler's save/restore of process state.
+
+    :meth:`switch` returns the cycle cost; with ``save_hfi_regs`` the
+    22 HFI registers travel with the xsave area (paper §3.3.3 and §5:
+    "a simple and minimal change").
+    """
+
+    def __init__(self, params: MachineParams = DEFAULT_PARAMS,
+                 save_hfi_regs: bool = True):
+        self.params = params
+        self.save_hfi_regs = save_hfi_regs
+        self._areas: Dict[int, XSaveArea] = {}
+
+    def switch(self, out_proc: Process, in_proc: Process) -> int:
+        cost = self.params.process_context_switch_cycles
+        cost += self._save(out_proc)
+        cost += self._restore(in_proc)
+        return cost
+
+    def _save(self, proc: Process) -> int:
+        area = XSaveArea(registers=proc.registers.copy(), pkru=proc.pkru)
+        cost = self.params.xsave_cycles
+        if self.save_hfi_regs and proc.hfi_state is not None:
+            area.hfi_snapshot = proc.hfi_state.snapshot()
+            cost += self.params.xsave_hfi_extra_cycles
+        self._areas[proc.pid] = area
+        return cost
+
+    def _restore(self, proc: Process) -> int:
+        cost = self.params.xrstor_cycles
+        area = self._areas.get(proc.pid)
+        if area is None:
+            return cost
+        proc.registers = area.registers.copy()
+        proc.pkru = area.pkru
+        if self.save_hfi_regs and area.hfi_snapshot is not None:
+            if proc.hfi_state is not None:
+                proc.hfi_state.restore(area.hfi_snapshot)
+            cost += self.params.xsave_hfi_extra_cycles
+        return cost

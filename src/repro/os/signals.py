@@ -1,0 +1,54 @@
+"""POSIX-style signals, the path HFI faults take to the trusted runtime.
+
+Per paper §3.3.2: an HFI bounds-check violation disables the sandbox,
+records the cause in an MSR, and raises a hardware trap that the OS
+delivers as SIGSEGV; the runtime's signal handler reads the MSR to
+disambiguate the cause.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+class Signal(enum.Enum):
+    SIGSEGV = 11
+    SIGILL = 4
+    SIGTRAP = 5
+    SIGSYS = 31
+
+
+@dataclass
+class SigInfo:
+    """Payload delivered to a signal handler."""
+
+    signal: Signal
+    fault_addr: int = 0
+    #: Snapshot of the HFI cause MSR at delivery time (0 = not HFI).
+    hfi_cause: int = 0
+    description: str = ""
+
+
+Handler = Callable[[SigInfo], None]
+
+
+@dataclass
+class SignalTable:
+    """Registered dispositions for one process."""
+
+    handlers: Dict[Signal, Handler] = field(default_factory=dict)
+    delivered: List[SigInfo] = field(default_factory=list)
+
+    def register(self, signal: Signal, handler: Handler) -> None:
+        self.handlers[signal] = handler
+
+    def deliver(self, info: SigInfo) -> bool:
+        """Invoke the handler if registered; returns True if handled."""
+        self.delivered.append(info)
+        handler = self.handlers.get(info.signal)
+        if handler is None:
+            return False
+        handler(info)
+        return True

@@ -1,0 +1,126 @@
+"""Machine and OS cost parameters — the analogue of the paper's Table 2.
+
+All latencies are in CPU cycles at ``frequency_ghz``.  The values are
+calibrated to a Skylake-class core (the paper's gem5 baseline and its
+i7-6700K measurement machine): L1 4 cycles, L2 12, DRAM ~200, branch
+mispredict ~15, serializing drain 30-60 (paper §3.4), syscall entry/exit
+on the order of a thousand cycles, ``wrpkru`` in the 20-30 range
+(ERIM's measurement).  The reproduction claims *relative* fidelity, so
+every experiment reads its costs from one :class:`MachineParams`
+instance and can be re-run under different calibrations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass
+class MachineParams:
+    """Latency/cost table shared by the CPU simulator and the OS model."""
+
+    frequency_ghz: float = 3.3
+
+    # --- pipeline ---
+    base_cycles: int = 1              # single ALU/mov op throughput cost
+    mul_cycles: int = 3
+    div_cycles: int = 20
+    branch_mispredict_penalty: int = 15
+    serialize_drain_cycles: int = 40  # cpuid/lfence/serialized hfi_enter
+    speculation_window: int = 64      # ROB-bounded wrong-path depth
+
+    # --- caches / TLB (latencies are *additional* over base) ---
+    l1d_hit_cycles: int = 4
+    l2_hit_cycles: int = 12
+    mem_cycles: int = 200
+    l1i_hit_cycles: int = 0           # fetch hit folded into base cost
+    l1i_miss_cycles: int = 12
+    dtlb_miss_cycles: int = 30
+
+    l1d_sets: int = 64
+    l1d_ways: int = 8
+    line_bytes: int = 64
+    l1i_sets: int = 64
+    l1i_ways: int = 8
+    dtlb_entries: int = 64
+
+    # --- HFI (paper §3, §4) ---
+    hfi_enter_cycles: int = 10        # unserialized: order of a call
+    hfi_exit_cycles: int = 8
+    hfi_set_region_cycles: int = 6    # plus the descriptor loads
+    hfi_clear_region_cycles: int = 2
+    hfi_syscall_check_cycles: int = 1 # §4.4: single-cycle decode check
+    hmov_extra_cycles: int = 0        # §4.2: checks run in parallel, free
+    #: §4.3's extension: rename HFI metadata registers like GPRs, so
+    #: region updates inside hybrid sandboxes need not serialize
+    #: ("trading complexity for improved performance").
+    hfi_region_rename: bool = False
+
+    clflush_cycles: int = 50
+    rdtsc_cycles: int = 25
+
+    # --- MPK baseline ---
+    wrpkru_cycles: int = 25
+    rdpkru_cycles: int = 2
+
+    # --- OS / kernel ---
+    syscall_cycles: int = 1200        # ring transition + dispatch + return
+    seccomp_base_cycles: int = 24     # BPF program setup per syscall
+    seccomp_per_rule_cycles: int = 2
+    signal_delivery_cycles: int = 4000
+    process_context_switch_cycles: int = 3000
+    xsave_cycles: int = 100
+    xrstor_cycles: int = 100
+    xsave_hfi_extra_cycles: int = 12  # save/restore of the 22 HFI regs
+
+    # --- virtual memory operations ---
+    page_bytes: int = 4096
+    va_bits: int = 48                 # user virtual address space width
+    mmap_fixed_cycles: int = 2000
+    munmap_fixed_cycles: int = 2500
+    mprotect_fixed_cycles: int = 12000  # VMA split/merge + PT update
+    mprotect_per_page_cycles: int = 30
+    madvise_fixed_cycles: int = 2200
+    madvise_per_present_page_cycles: int = 2000  # zap + TLB inval + free
+    madvise_per_vma_cycles: int = 150          # VMA-tree walk per area
+    madvise_per_reserved_gb_cycles: int = 1000 # sparse PTE-range skip
+    tlb_shootdown_cycles: int = 4000  # IPI round when concurrent
+
+    # --- runtime bookkeeping (Wasmtime-like memory_grow path) ---
+    memory_grow_bookkeeping_cycles: int = 400
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / (self.frequency_ghz * 1e9)
+
+    def cycles_to_us(self, cycles: float) -> float:
+        return cycles / (self.frequency_ghz * 1e3)
+
+    def with_overrides(self, **kwargs) -> "MachineParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: Shared default calibration used across benchmarks and tests.
+DEFAULT_PARAMS = MachineParams()
+
+
+def skylake() -> MachineParams:
+    """The paper's main machine: i7-6700K (Skylake, 4 GHz) — §5.2.
+
+    Matches the gem5 baseline of Table 2 in character; most benchmarks
+    run on this calibration.
+    """
+    return MachineParams(frequency_ghz=4.0)
+
+
+def tigerlake() -> MachineParams:
+    """The §6.4.2 machine: i7-1165G7 (Tigerlake, 2.8 GHz) with MPK.
+
+    Willow Cove widens the core slightly: cheaper mispredicts relative
+    to depth, a larger L2 (modelled as a lower L2 latency), and MPK
+    support (wrpkru measured around the same ~25 cycles).
+    """
+    return MachineParams(frequency_ghz=2.8,
+                         branch_mispredict_penalty=17,
+                         l2_hit_cycles=10,
+                         speculation_window=96)

@@ -1,0 +1,92 @@
+"""Single-process multiplexing vs multi-process scheduling (paper §2).
+
+"FaaS providers would rather schedule more instances in fewer
+processes — ideally one."  This model quantifies why: with HFI, the
+runtime multiplexes thousands of sandboxes over one process and pays a
+function-call-scale switch per hop; spreading the same work over many
+processes pays kernel context switches (plus xsave/xrstor, scheduler
+latency) whenever concurrency exceeds the physical cores.
+
+The simulation is a simple round-robin over runnable requests, each
+needing ``service_cycles`` of CPU in ``slice_cycles`` quanta — what an
+interactive FaaS node does when every request blocks and resumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+from ..params import DEFAULT_PARAMS, MachineParams
+from .transitions import TransitionKind, TransitionModel
+
+
+@dataclass
+class ScheduleOutcome:
+    mechanism: str
+    total_cycles: int
+    switch_cycles: int
+    switches: int
+
+    @property
+    def switch_share(self) -> float:
+        return self.switch_cycles / self.total_cycles
+
+
+@dataclass
+class MultiplexModel:
+    """Round-robin execution of concurrent sandboxed requests."""
+
+    params: MachineParams = field(default_factory=lambda: DEFAULT_PARAMS)
+    cores: int = 4
+
+    def __post_init__(self):
+        self.transitions = TransitionModel(self.params)
+
+    # ------------------------------------------------------------------
+    def _simulate(self, n_requests: int, service_cycles: int,
+                  slice_cycles: int, switch_cost: int,
+                  mechanism: str) -> ScheduleOutcome:
+        slices_per_request = math.ceil(service_cycles / slice_cycles)
+        total_slices = n_requests * slices_per_request
+        work = n_requests * service_cycles
+        # every slice boundary is a switch (round-robin among more
+        # runnable contexts than cores)
+        switches = total_slices
+        switch_cycles = switches * switch_cost
+        busy = work + switch_cycles
+        return ScheduleOutcome(
+            mechanism=mechanism,
+            total_cycles=math.ceil(busy / self.cores),
+            switch_cycles=switch_cycles,
+            switches=switches)
+
+    def single_process(self, n_requests: int, service_cycles: int,
+                       slice_cycles: int = 50_000,
+                       serialized: bool = False) -> ScheduleOutcome:
+        """One process, HFI sandbox per request, runtime-multiplexed."""
+        cost = self.transitions.round_trip(
+            TransitionKind.ZERO_COST, serialized=serialized,
+            regions_installed=3)
+        return self._simulate(n_requests, service_cycles, slice_cycles,
+                              cost, "single-process-hfi")
+
+    def multi_process(self, n_requests: int, service_cycles: int,
+                      slice_cycles: int = 50_000) -> ScheduleOutcome:
+        """One process per request; the OS context-switches them."""
+        cost = (self.params.process_context_switch_cycles
+                + self.params.xsave_cycles + self.params.xrstor_cycles)
+        return self._simulate(n_requests, service_cycles, slice_cycles,
+                              cost, "multi-process")
+
+    # ------------------------------------------------------------------
+    def advantage(self, n_requests: int = 512,
+                  service_cycles: int = 200_000,
+                  slice_cycles: int = 20_000) -> float:
+        """Throughput advantage of single-process multiplexing."""
+        single = self.single_process(n_requests, service_cycles,
+                                     slice_cycles)
+        multi = self.multi_process(n_requests, service_cycles,
+                                   slice_cycles)
+        return multi.total_cycles / single.total_cycles

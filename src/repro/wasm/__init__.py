@@ -1,0 +1,35 @@
+"""Wasm-like SFI toolchain: IR, compiler, isolation strategies, runtime."""
+
+from . import ir
+from .compiler import CompiledModule, CompileError, Compiler, TRAP_MAGIC
+from .runtime import WasmInstance, WasmRuntime
+from .strategies import (
+    GUARD_SCHEME_GUARD,
+    GUARD_SCHEME_SPACE,
+    STRATEGIES,
+    WASM_PAGE,
+    BoundsCheckStrategy,
+    CodegenContext,
+    CompatibilityError,
+    GuardPagesStrategy,
+    HfiEmulationStrategy,
+    HfiStrategy,
+    IsolationStrategy,
+    MaskingStrategy,
+    NativeHfiStrategy,
+    NativeUnsafeStrategy,
+    SandboxLayout,
+    SwivelStrategy,
+    make_strategy,
+)
+
+__all__ = [
+    "ir", "Compiler", "CompiledModule", "CompileError", "TRAP_MAGIC",
+    "WasmInstance", "WasmRuntime", "IsolationStrategy",
+    "GuardPagesStrategy", "BoundsCheckStrategy", "MaskingStrategy",
+    "HfiStrategy", "HfiEmulationStrategy", "SwivelStrategy",
+    "NativeUnsafeStrategy", "NativeHfiStrategy", "CodegenContext",
+    "CompatibilityError",
+    "SandboxLayout", "STRATEGIES", "make_strategy", "WASM_PAGE",
+    "GUARD_SCHEME_SPACE", "GUARD_SCHEME_GUARD",
+]

@@ -1,0 +1,207 @@
+"""A reference interpreter for wir — the compiler's golden model.
+
+Evaluates a :class:`~repro.wasm.ir.Module` directly in Python with the
+same 64-bit wrapping semantics the ISA implements.  The differential
+test suite compares this interpreter against the compiled module under
+every isolation strategy: any divergence is a compiler or strategy
+bug (or a real isolation difference, which must raise instead).
+
+Linear memories are byte-addressed bytearrays; out-of-bounds accesses
+raise :class:`InterpTrap`, mirroring precise-trap strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..isa.registers import MASK64, to_signed
+from . import ir
+
+_LOOP_CAP = 50_000_000
+
+
+class InterpTrap(Exception):
+    """An out-of-bounds linear-memory access."""
+
+
+@dataclass
+class InterpResult:
+    globals: Dict[str, int]
+    memories: List[bytearray]
+    ops_executed: int = 0
+
+    def global_value(self, name: str) -> int:
+        return self.globals[name]
+
+
+class Interpreter:
+    """Evaluates modules; one instance per run."""
+
+    def __init__(self, module: ir.Module):
+        ir.validate(module)
+        self.module = module
+        self.memories: List[bytearray] = [
+            bytearray(module.memory_bytes)]
+        for pages in module.extra_memories:
+            self.memories.append(bytearray(pages * 65536))
+        if module.data:
+            self.memories[0][:len(module.data)] = module.data
+        self.globals: Dict[str, int] = {g: 0 for g in module.globals}
+        self.ops = 0
+
+    # ------------------------------------------------------------------
+    def run(self, entry: str = None) -> InterpResult:
+        fn = (self.module.function(entry) if entry
+              else self.module.functions[0])
+        self._call(fn)
+        return InterpResult(globals=dict(self.globals),
+                            memories=self.memories,
+                            ops_executed=self.ops)
+
+    def _call(self, fn: ir.Function) -> None:
+        locals_: Dict[str, int] = {}
+        try:
+            self._block(fn.body, locals_)
+        except Interpreter._Return:
+            pass
+
+    class _Return(Exception):
+        pass
+
+    def _block(self, ops, locals_) -> None:
+        for op in ops:
+            self._op(op, locals_)
+
+    def _value(self, value: ir.Value, locals_) -> int:
+        if isinstance(value, int):
+            return value & MASK64
+        return locals_[value]
+
+    # ------------------------------------------------------------------
+    def _op(self, op: ir.Op, locals_) -> None:
+        self.ops += 1
+        if isinstance(op, ir.Const):
+            locals_[op.dst] = op.value & MASK64
+            return
+        if isinstance(op, ir.Move):
+            locals_[op.dst] = self._value(op.src, locals_)
+            return
+        if isinstance(op, ir.BinOp):
+            locals_[op.dst] = self._binop(op, locals_)
+            return
+        if isinstance(op, ir.Load):
+            addr = (self._value(op.addr, locals_) + op.offset) & MASK64
+            locals_[op.dst] = self._load(op.memory, addr, op.size)
+            return
+        if isinstance(op, ir.Store):
+            addr = (self._value(op.addr, locals_) + op.offset) & MASK64
+            self._store(op.memory, addr, self._value(op.src, locals_),
+                        op.size)
+            return
+        if isinstance(op, ir.LoadGlobal):
+            locals_[op.dst] = self.globals[op.name]
+            return
+        if isinstance(op, ir.StoreGlobal):
+            self.globals[op.name] = self._value(op.src, locals_)
+            return
+        if isinstance(op, ir.Loop):
+            count = to_signed(self._value(op.count, locals_))
+            if count > _LOOP_CAP:
+                raise InterpTrap(f"loop count {count} over cap")
+            for _ in range(max(0, count)):
+                self._block(op.body, locals_)
+            return
+        if isinstance(op, ir.If):
+            if self._compare(op, locals_):
+                self._block(op.then_body, locals_)
+            else:
+                self._block(op.else_body, locals_)
+            return
+        if isinstance(op, ir.Call):
+            self._call(self.module.function(op.func))
+            return
+        if isinstance(op, ir.HostCall):
+            return  # no semantic effect; purely a transition point
+        if isinstance(op, ir.Return):
+            raise Interpreter._Return()
+        raise NotImplementedError(f"cannot interpret {op!r}")
+
+    def _binop(self, op: ir.BinOp, locals_) -> int:
+        a = self._value(op.a, locals_)
+        b = self._value(op.b, locals_)
+        kind = op.op
+        if kind is ir.BinaryOp.ADD:
+            return (a + b) & MASK64
+        if kind is ir.BinaryOp.SUB:
+            return (a - b) & MASK64
+        if kind is ir.BinaryOp.MUL:
+            return (to_signed(a) * to_signed(b)) & MASK64
+        if kind is ir.BinaryOp.DIV:
+            if to_signed(b) == 0:
+                raise InterpTrap("division by zero")
+            return int(to_signed(a) / to_signed(b)) & MASK64
+        if kind is ir.BinaryOp.MOD:
+            sb = to_signed(b)
+            if sb == 0:
+                raise InterpTrap("division by zero")
+            sa = to_signed(a)
+            return (sa - int(sa / sb) * sb) & MASK64
+        if kind is ir.BinaryOp.AND:
+            return a & b
+        if kind is ir.BinaryOp.OR:
+            return a | b
+        if kind is ir.BinaryOp.XOR:
+            return a ^ b
+        if kind is ir.BinaryOp.SHL:
+            return (a << (b & 63)) & MASK64
+        if kind is ir.BinaryOp.SHR:
+            return a >> (b & 63)
+        raise NotImplementedError(kind)
+
+    def _compare(self, op: ir.If, locals_) -> bool:
+        a = self._value(op.a, locals_)
+        b = self._value(op.b, locals_)
+        kind = op.cmp
+        if kind is ir.Cmp.EQ:
+            return a == b
+        if kind is ir.Cmp.NE:
+            return a != b
+        if kind is ir.Cmp.LTU:
+            return a < b
+        if kind is ir.Cmp.GEU:
+            return a >= b
+        sa, sb = to_signed(a), to_signed(b)
+        if kind is ir.Cmp.LT:
+            return sa < sb
+        if kind is ir.Cmp.LE:
+            return sa <= sb
+        if kind is ir.Cmp.GT:
+            return sa > sb
+        if kind is ir.Cmp.GE:
+            return sa >= sb
+        raise NotImplementedError(kind)
+
+    # ------------------------------------------------------------------
+    def _load(self, memory: int, addr: int, size: int) -> int:
+        buf = self._memory(memory, addr, size)
+        return int.from_bytes(buf[addr:addr + size], "little")
+
+    def _store(self, memory: int, addr: int, value: int,
+               size: int) -> None:
+        buf = self._memory(memory, addr, size)
+        buf[addr:addr + size] = (value & ((1 << (8 * size)) - 1)
+                                 ).to_bytes(size, "little")
+
+    def _memory(self, memory: int, addr: int, size: int) -> bytearray:
+        buf = self.memories[memory]
+        if addr + size > len(buf):
+            raise InterpTrap(
+                f"access at {addr:#x}+{size} beyond memory {memory} "
+                f"({len(buf):#x} bytes)")
+        return buf
+
+
+def interpret(module: ir.Module) -> InterpResult:
+    """Convenience one-shot evaluation."""
+    return Interpreter(module).run()

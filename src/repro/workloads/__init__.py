@@ -1,0 +1,14 @@
+"""Evaluation workloads: Sightglass, SPEC-like, rendering, FaaS, NGINX."""
+
+from .faas_apps import APP_SCALES, FAAS_APPS
+from .font import graphite_reflow
+from .image import COMPRESSION_ROUNDS, RESOLUTIONS, jpeg_decode
+from .nginx import FILE_SIZES, SCHEMES, NginxModel
+from .sightglass import SIGHTGLASS_BENCHMARKS
+from .spec import SPEC_BENCHMARKS
+
+__all__ = [
+    "SIGHTGLASS_BENCHMARKS", "SPEC_BENCHMARKS", "jpeg_decode",
+    "RESOLUTIONS", "COMPRESSION_ROUNDS", "graphite_reflow", "FAAS_APPS",
+    "APP_SCALES", "NginxModel", "FILE_SIZES", "SCHEMES",
+]

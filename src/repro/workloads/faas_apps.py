@@ -1,0 +1,197 @@
+"""The four FaaS applications of Table 1 (paper §6.5).
+
+Each builder returns a wir module whose instruction mix matches the
+app's character; the Table 1 benchmark compiles them under
+Lucet-unsafe / Lucet+HFI(native) / Lucet+Swivel, measures service
+cycles on the simulator, and feeds a FaaS queueing model.
+
+Relative service weights follow the paper's latency column (templated
+HTML ~45 ms ... image classification ~12 s): we keep the *ordering*
+and a compressed dynamic range so the suite simulates quickly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..wasm.ir import (
+    BinOp,
+    BinaryOp,
+    Cmp,
+    Const,
+    Function,
+    If,
+    Load,
+    Loop,
+    Module,
+    Store,
+    StoreGlobal,
+)
+
+MASK32 = 0xFFFF_FFFF
+
+
+def xml_to_json(scale: int = 1) -> Module:
+    """Tag scanning and re-emission: byte loads, branches, stores."""
+    doc = (b"<item id='1'><name>widget</name><qty>3</qty></item>" * 40)
+    body: List = [
+        Const("i", 0),
+        Const("depth", 0),
+        Const("emitted", 0),
+        Loop(len(doc) * scale, [
+            BinOp(BinaryOp.AND, "ia", "i", 0x7FF),
+            Load("ch", "ia", size=1),
+            If("ch", Cmp.EQ, 60, [                      # '<'
+                Load("nxt", "ia", offset=1, size=1),
+                If("nxt", Cmp.EQ, 47,                    # '/'
+                   [BinOp(BinaryOp.SUB, "depth", "depth", 1),
+                    Store("emitted", 125, offset=4096, size=1)],  # '}'
+                   [BinOp(BinaryOp.ADD, "depth", "depth", 1),
+                    Store("emitted", 123, offset=4096, size=1)]),  # '{'
+                BinOp(BinaryOp.ADD, "emitted", "emitted", 1),
+                BinOp(BinaryOp.AND, "emitted", "emitted", 0xFFF),
+            ], [
+                If("ch", Cmp.GT, 32, [
+                    Store("emitted", "ch", offset=4096, size=1),
+                    BinOp(BinaryOp.ADD, "emitted", "emitted", 1),
+                    BinOp(BinaryOp.AND, "emitted", "emitted", 0xFFF),
+                ]),
+            ]),
+            BinOp(BinaryOp.ADD, "i", "i", 1),
+        ]),
+        StoreGlobal("result", "emitted"),
+    ]
+    return Module("xml-to-json", [Function("main", body)],
+                  globals=["result"], data=doc)
+
+
+def image_classification(scale: int = 1) -> Module:
+    """A small convolution + pooling stack — the heavyweight app."""
+    width = 48
+    body: List = [
+        Const("acc", 0),
+        Const("layer", 0),
+        Loop(3 * scale, [                     # conv layers
+            Const("y", 0),
+            Loop(10, [
+                Const("x", 0),
+                Loop(width - 2, [
+                    BinOp(BinaryOp.MUL, "base", "y", width),
+                    BinOp(BinaryOp.ADD, "base", "base", "x"),
+                    Load("p0", "base", size=1),
+                    Load("p1", "base", offset=1, size=1),
+                    Load("p2", "base", offset=2, size=1),
+                    Load("p3", "base", offset=width, size=1),
+                    BinOp(BinaryOp.MUL, "s", "p0", 3),
+                    BinOp(BinaryOp.MUL, "t", "p1", 5),
+                    BinOp(BinaryOp.ADD, "s", "s", "t"),
+                    BinOp(BinaryOp.MUL, "t", "p2", 7),
+                    BinOp(BinaryOp.ADD, "s", "s", "t"),
+                    BinOp(BinaryOp.MUL, "t", "p3", 2),
+                    BinOp(BinaryOp.ADD, "s", "s", "t"),
+                    BinOp(BinaryOp.SHR, "s", "s", 4),
+                    BinOp(BinaryOp.AND, "s", "s", 0xFF),
+                    Store("base", "s", offset=8192, size=1),
+                    BinOp(BinaryOp.ADD, "acc", "acc", "s"),
+                    BinOp(BinaryOp.AND, "acc", "acc", MASK32),
+                    BinOp(BinaryOp.ADD, "x", "x", 1),
+                ]),
+                BinOp(BinaryOp.ADD, "y", "y", 1),
+            ]),
+            BinOp(BinaryOp.ADD, "layer", "layer", 1),
+        ]),
+        StoreGlobal("result", "acc"),
+    ]
+    pixels = bytes(((x * 31 + y * 7) & 0xFF)
+                   for y in range(12) for x in range(width * 12))
+    return Module("image-classification", [Function("main", body)],
+                  globals=["result"], data=pixels[:4096])
+
+
+def sha256_check(scale: int = 1) -> Module:
+    """SHA-256-like compression over message blocks."""
+    state = [f"h{i}" for i in range(8)]
+    init = [Const(s, (0x6A09E667 + i * 0x1000193) & MASK32)
+            for i, s in enumerate(state)]
+    round_ops: List = [
+        BinOp(BinaryOp.AND, "wa", "blk", 0x3C),
+        Load("w", "wa", size=4),
+    ]
+    for i in range(4):
+        a, b, c = state[i], state[(i + 1) % 8], state[(i + 5) % 8]
+        round_ops += [
+            BinOp(BinaryOp.SHR, "s1", b, 6),
+            BinOp(BinaryOp.XOR, "s1", "s1", b),
+            BinOp(BinaryOp.AND, "ch", b, c),
+            BinOp(BinaryOp.ADD, "tmp", "s1", "ch"),
+            BinOp(BinaryOp.ADD, "tmp", "tmp", "w"),
+            BinOp(BinaryOp.ADD, "tmp", "tmp", 0x428A2F98 + i),
+            BinOp(BinaryOp.ADD, a, a, "tmp"),
+            BinOp(BinaryOp.AND, a, a, MASK32),
+        ]
+    body = init + [
+        Const("blk", 0),
+        Loop(60 * scale, round_ops + [
+            BinOp(BinaryOp.ADD, "blk", "blk", 4),
+        ]),
+        BinOp(BinaryOp.XOR, "digest", state[0], state[7]),
+        BinOp(BinaryOp.XOR, "digest", "digest", state[3]),
+        StoreGlobal("result", "digest"),
+    ]
+    msg = bytes((i * 149 + 7) & 0xFF for i in range(256))
+    return Module("sha256-check", [Function("main", body)],
+                  globals=["result"], data=msg)
+
+
+def templated_html(scale: int = 1) -> Module:
+    """Template substitution: copy with placeholder expansion — the
+    lightweight app."""
+    template = (b"<li class=?>item ? of ?</li>" * 12)
+    body: List = [
+        Const("i", 0),
+        Const("o", 0),
+        Const("subs", 0),
+        Loop(len(template) * scale, [
+            BinOp(BinaryOp.AND, "ia", "i", 0x1FF),
+            Load("ch", "ia", size=1),
+            If("ch", Cmp.EQ, 63, [                  # '?'
+                BinOp(BinaryOp.ADD, "subs", "subs", 1),
+                BinOp(BinaryOp.AND, "sub_i", "subs", 0x3F),
+                Load("sub", "sub_i", offset=512, size=1),
+                Store("o", "sub", offset=4096, size=1),
+            ], [
+                Store("o", "ch", offset=4096, size=1),
+            ]),
+            BinOp(BinaryOp.ADD, "o", "o", 1),
+            BinOp(BinaryOp.AND, "o", "o", 0xFFF),
+            BinOp(BinaryOp.ADD, "i", "i", 1),
+        ]),
+        StoreGlobal("result", "subs"),
+    ]
+    data = template + bytes(64) + bytes(
+        (48 + (i % 10)) for i in range(64))
+    # layout: template at 0, substitution digits at 512
+    padded = bytearray(1024)
+    padded[:len(template)] = template
+    for i in range(64):
+        padded[512 + i] = 48 + (i % 10)
+    return Module("templated-html", [Function("main", body)],
+                  globals=["result"], data=bytes(padded))
+
+
+#: Table 1's column order.
+FAAS_APPS: Dict[str, Callable[[int], Module]] = {
+    "xml-to-json": xml_to_json,
+    "image-classification": image_classification,
+    "sha256-check": sha256_check,
+    "templated-html": templated_html,
+}
+
+#: Relative request weights approximating Table 1's latency ordering
+#: (templated HTML lightest, image classification heaviest).
+APP_SCALES: Dict[str, int] = {
+    "xml-to-json": 3,
+    "image-classification": 6,
+    "sha256-check": 4,
+    "templated-html": 3,
+}

@@ -1,0 +1,109 @@
+"""NGINX + sandboxed OpenSSL model (paper §6.4.2, Fig. 5).
+
+Follows ERIM's experimental shape: NGINX serves files of various sizes
+over TLS with the crypto code and session keys isolated.  Per request
+the server pays:
+
+* request handling (accept, header parse, syscalls, content copy), and
+* crypto work proportional to the payload, split into TLS records,
+  with a *protection-domain switch into and out of the sandbox around
+  every crypto call*.
+
+Protection schemes: ``unprotected`` (plain calls), ``hfi`` (native
+sandbox: serialized hfi_enter/exit + region metadata moves — no
+execution overhead inside, §6.4.2), and ``mpk`` (ERIM: wrpkru pairs —
+slightly cheaper because nothing is loaded from memory).
+
+The §6.4.1 syscall-interposition comparison (seccomp-bpf vs HFI) is in
+:mod:`repro.benchmarks`' harness using :class:`repro.os.SeccompFilter`
+directly; this module is the throughput model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..params import DEFAULT_PARAMS, MachineParams
+from ..runtime.transitions import TransitionKind, TransitionModel
+
+TLS_RECORD_BYTES = 16 * 1024
+
+#: Fig. 5's x-axis.
+FILE_SIZES = [0, 1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10,
+              32 << 10, 64 << 10, 128 << 10]
+
+SCHEMES = ("unprotected", "hfi", "mpk")
+
+
+@dataclass
+class NginxModel:
+    """Cycle model for one worker serving TLS requests."""
+
+    params: MachineParams = field(default_factory=lambda: DEFAULT_PARAMS)
+    #: request handling outside crypto: parse + fd syscalls + copy setup
+    request_base_cycles: int = 50_000
+    #: kernel/socket cost per payload byte (copies, checksums)
+    io_cycles_per_byte: float = 1.1
+    #: crypto cycles per byte (AES-GCM-class)
+    crypto_cycles_per_byte: float = 1.4
+    #: handshake-time crypto calls (key schedule, MAC setup) per request
+    handshake_crypto_calls: int = 6
+    #: crypto calls per TLS record (encrypt, MAC, IV derivation, and
+    #: the read/write split ERIM interposes on)
+    calls_per_record: int = 7
+
+    def __post_init__(self):
+        self.transitions = TransitionModel(self.params)
+
+    # ------------------------------------------------------------------
+    def crypto_calls(self, file_bytes: int) -> int:
+        """Sandbox entries per request: handshake plus per-record calls
+        (encrypt, MAC, IV), min one record even for empty bodies."""
+        records = max(1, math.ceil(file_bytes / TLS_RECORD_BYTES))
+        return self.handshake_crypto_calls + self.calls_per_record * records
+
+    def switch_cost(self, scheme: str) -> int:
+        """One round trip into and out of the crypto domain."""
+        if scheme == "unprotected":
+            return 2 * self.params.base_cycles          # call/ret
+        if scheme == "hfi":
+            # §6.4.2: serialized enter/exit plus moving region metadata
+            # from memory into HFI registers on each transition.
+            return (self.transitions.hfi_enter_cost(
+                        serialized=True, regions_installed=3)
+                    + self.transitions.hfi_exit_cost(serialized=True))
+        if scheme == "mpk":
+            # ERIM switch gate: wrpkru + validation + speculation fence
+            switch = (self.params.wrpkru_cycles
+                      + self.params.serialize_drain_cycles // 2
+                      + 20)
+            return 2 * switch
+        raise ValueError(f"unknown scheme {scheme!r}")
+
+    def request_cycles(self, file_bytes: int, scheme: str) -> int:
+        base = (self.request_base_cycles
+                + int(self.io_cycles_per_byte * file_bytes))
+        crypto = int(self.crypto_cycles_per_byte * max(file_bytes, 512))
+        switches = self.crypto_calls(file_bytes) * self.switch_cost(scheme)
+        return base + crypto + switches
+
+    # ------------------------------------------------------------------
+    def throughput_rps(self, file_bytes: int, scheme: str) -> float:
+        """Single-worker saturation throughput (Fig. 5's y-axis)."""
+        seconds = self.params.cycles_to_seconds(
+            self.request_cycles(file_bytes, scheme))
+        return 1.0 / seconds
+
+    def overhead_pct(self, file_bytes: int, scheme: str) -> float:
+        """Throughput loss vs the unprotected server, in percent."""
+        base = self.throughput_rps(file_bytes, "unprotected")
+        return 100.0 * (1.0 - self.throughput_rps(file_bytes, scheme)
+                        / base)
+
+    def sweep(self) -> Dict[str, List[float]]:
+        """Throughput for every (scheme, file size) — the Fig. 5 grid."""
+        return {scheme: [self.throughput_rps(size, scheme)
+                         for size in FILE_SIZES]
+                for scheme in SCHEMES}

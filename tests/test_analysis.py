@@ -1,0 +1,73 @@
+"""Unit tests for the analysis helpers (stats + report rendering)."""
+
+import os
+
+import pytest
+
+from repro.analysis import (
+    emit,
+    format_series,
+    format_table,
+    geomean,
+    mean,
+    median,
+    normalize,
+    pct_change,
+    results_dir,
+    speedup_pct,
+)
+
+
+class TestStats:
+    def test_geomean_basics(self):
+        assert geomean([2, 8]) == pytest.approx(4.0)
+        assert geomean([1.0] * 10) == pytest.approx(1.0)
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_geomean_below_arithmetic_mean(self):
+        values = [0.5, 1.0, 2.0, 4.0]
+        assert geomean(values) < mean(values)
+
+    def test_median(self):
+        assert median([3, 1, 2]) == 2
+        assert median([4, 1, 2, 3]) == 2.5
+
+    def test_normalize(self):
+        out = normalize({"a": 10.0, "b": 20.0}, baseline="a")
+        assert out == {"a": 1.0, "b": 2.0}
+
+    def test_pct_change_and_speedup(self):
+        assert pct_change(110, 100) == pytest.approx(10.0)
+        assert speedup_pct(90, 100) == pytest.approx(10.0)
+        assert speedup_pct(110, 100) == pytest.approx(-10.0)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"],
+                            [("x", 1), ("longer", 22)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert all(len(l) >= 4 for l in lines[2:])
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_format_series(self):
+        text = format_series("s", ["x1", "x2"], [1.5, 2.5])
+        assert text == "s: x1=1.50, x2=2.50"
+
+    def test_emit_persists(self, capsys):
+        emit("unittest_scratch", "hello table")
+        assert "hello table" in capsys.readouterr().out
+        path = os.path.join(results_dir(), "unittest_scratch.txt")
+        with open(path) as fh:
+            assert "hello table" in fh.read()
+        os.remove(path)

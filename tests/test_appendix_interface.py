@@ -1,0 +1,91 @@
+"""Conformance against the paper's appendix A.1 software interface.
+
+The appendix (Fig. 6) lists the complete HFI interface; this suite
+checks that every listed instruction and structure field exists with
+the documented shape, so the reproduction can honestly claim to
+implement the published ISA surface.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import (
+    REGISTER_COUNT,
+    ExplicitDataRegion,
+    HfiState,
+    ImplicitCodeRegion,
+    ImplicitDataRegion,
+    NUM_CODE_REGIONS,
+    NUM_EXPLICIT_REGIONS,
+    NUM_IMPLICIT_DATA_REGIONS,
+    SandboxFlags,
+)
+from repro.isa import Opcode
+
+
+class TestInstructionSurface:
+    """Fig. 6's functions, one opcode each (+ the four hmov variants)."""
+
+    APPENDIX_INSTRUCTIONS = [
+        "hfi_enter", "hfi_reenter", "hfi_exit",
+        "hfi_clear_all_regions", "hfi_clear_region",
+        "hfi_set_region", "hfi_get_region",
+    ]
+
+    @pytest.mark.parametrize("name", APPENDIX_INSTRUCTIONS)
+    def test_instruction_exists(self, name):
+        assert Opcode(name) is not None
+
+    def test_eight_hfi_instructions_total(self):
+        """§4: 'HFI's architecture adds: 8 instructions' — the seven
+        appendix functions; hmov is counted as the eighth (with four
+        register-selecting encodings)."""
+        hfi_ops = [op for op in Opcode if op.value.startswith("hfi_")]
+        assert len(hfi_ops) == 7
+        hmovs = [op for op in Opcode if op.value.startswith("hmov")]
+        assert len(hmovs) == 4
+
+    def test_state_machine_methods(self):
+        state = HfiState()
+        for method in ("enter", "exit", "reenter", "set_region",
+                       "get_region", "clear_region",
+                       "clear_all_regions"):
+            assert callable(getattr(state, method))
+
+
+class TestStructures:
+    def test_sandbox_t_fields(self):
+        """sandbox_t: is_hybrid, is_serialized, switch_on_exit (+ the
+        exit handler travels as an hfi_enter parameter)."""
+        names = {f.name for f in dataclasses.fields(SandboxFlags)}
+        assert names == {"is_hybrid", "is_serialized", "switch_on_exit"}
+
+    def test_implicit_code_region_t_fields(self):
+        names = {f.name for f in dataclasses.fields(ImplicitCodeRegion)}
+        assert names == {"base_prefix", "lsb_mask", "permission_exec"}
+
+    def test_implicit_data_region_t_fields(self):
+        names = {f.name for f in dataclasses.fields(ImplicitDataRegion)}
+        assert names == {"base_prefix", "lsb_mask", "permission_read",
+                         "permission_write"}
+
+    def test_explicit_data_region_t_fields(self):
+        names = {f.name for f in dataclasses.fields(ExplicitDataRegion)}
+        assert names == {"base_address", "bound", "permission_read",
+                         "permission_write", "is_large_region"}
+
+
+class TestRegionBudget:
+    def test_region_counts_match_paper(self):
+        """§3.2: six implicit regions (2 code + 4 data) and four
+        explicit regions."""
+        assert NUM_CODE_REGIONS == 2
+        assert NUM_IMPLICIT_DATA_REGIONS == 4
+        assert NUM_EXPLICIT_REGIONS == 4
+
+    def test_register_count_is_22(self):
+        """§4: '22 internal 64-bit registers (10 regions specified by
+        2 registers each, 1 exit handler register and 1 configuration
+        register)'."""
+        assert REGISTER_COUNT == 22

@@ -1,0 +1,143 @@
+"""Tests for function chaining, the pooling allocator, and the mix
+profiler."""
+
+import pytest
+
+from repro.analysis import compare, profile
+from repro.os import AddressSpace
+from repro.params import MachineParams
+from repro.runtime import ChainModel, InstancePool
+from repro.wasm import GuardPagesStrategy, HfiStrategy
+from repro.workloads.sightglass import minicsv
+
+
+@pytest.fixture
+def params():
+    return MachineParams()
+
+
+class TestChaining:
+    def test_in_process_is_orders_of_magnitude_cheaper(self, params):
+        """§2: in-process chaining is 'easily 1000x to 10000x' cheaper
+        than IPC."""
+        model = ChainModel(params)
+        speedup = model.speedup(n_functions=4)
+        assert 100 <= speedup <= 20_000
+        # the un-serialized HFI hop is function-call-like
+        assert model.in_process_hop().cycles < 100
+
+    def test_ipc_scales_with_payload(self, params):
+        model = ChainModel(params)
+        small = model.ipc_hop(payload_bytes=1 << 10)
+        big = model.ipc_hop(payload_bytes=1 << 20)
+        assert big.cycles > small.cycles
+
+    def test_in_process_is_zero_copy(self, params):
+        model = ChainModel(params)
+        assert model.in_process_hop().copies == 0
+        assert model.ipc_hop().copies == 2
+
+    def test_serialization_choice_visible(self, params):
+        model = ChainModel(params)
+        plain = model.chain_cycles(5, mechanism="in-process")
+        hardened = model.chain_cycles(5,
+                                      mechanism="in-process-serialized")
+        assert hardened > plain
+
+    def test_unknown_mechanism_rejected(self, params):
+        with pytest.raises(ValueError):
+            ChainModel(params).chain_cycles(3, mechanism="carrier-pigeon")
+
+
+class TestInstancePool:
+    def _pool(self, params, strategy, slots=8, batch=False):
+        space = AddressSpace(params)
+        return InstancePool(space, strategy, slots=slots,
+                            heap_bytes=1 << 20, params=params,
+                            batch_teardown=batch)
+
+    def test_acquire_release_cycle(self, params):
+        pool = self._pool(params, HfiStrategy())
+        slot = pool.acquire()
+        assert slot.in_use
+        assert pool.available == 7
+        cost = pool.release(slot)
+        assert cost > 0
+        assert pool.available == 8
+
+    def test_exhaustion_returns_none(self, params):
+        pool = self._pool(params, HfiStrategy(), slots=2)
+        a, b = pool.acquire(), pool.acquire()
+        assert pool.acquire() is None
+        pool.release(a)
+        assert pool.acquire() is not None
+
+    def test_double_release_rejected(self, params):
+        pool = self._pool(params, HfiStrategy())
+        slot = pool.acquire()
+        pool.release(slot)
+        with pytest.raises(ValueError):
+            pool.release(slot)
+
+    def test_release_zeroes_slot_memory(self, params):
+        pool = self._pool(params, HfiStrategy())
+        slot = pool.acquire()
+        pool.space.write(slot.heap_base, 0xABCD, 8, check=False)
+        pool.release(slot)
+        assert pool.space.read(slot.heap_base, 8, check=False) == 0
+
+    def test_batched_discard_defers_cost(self, params):
+        pool = self._pool(params, HfiStrategy(), batch=True)
+        slots = [pool.acquire() for _ in range(4)]
+        for slot in slots:
+            pool.space.write(slot.heap_base, 1, 8, check=False)
+            assert pool.release(slot) == 0     # deferred
+        flush = pool.flush_discards()
+        assert flush > 0
+        assert all(not s.dirty for s in slots)
+
+    def test_hfi_batching_beats_guard_batching(self, params):
+        """The §6.3.1 economics via the pool interface."""
+        def recycled_cost(strategy):
+            pool = self._pool(params, strategy, slots=16, batch=True)
+            slots = [pool.acquire() for _ in range(16)]
+            for slot in slots:
+                for page in range(8):
+                    pool.space.write(slot.heap_base + page * 4096, 1, 8,
+                                     check=False)
+                pool.release(slot)
+            return pool.flush_discards()
+
+        assert recycled_cost(HfiStrategy()) \
+            < recycled_cost(GuardPagesStrategy())
+
+
+class TestMixProfiler:
+    def test_profile_shape(self, params):
+        prof = profile(minicsv(1), "hfi", params)
+        assert prof.instructions > 0
+        assert prof.cycles > 0
+        assert prof.hfi_ops >= 5      # set_region x3 + enter + exit
+        assert prof.memory_ops > 0
+        assert prof.branches > 0
+        assert 0 < prof.ipc_proxy <= 1.0
+
+    def test_mix_explains_strategy_difference(self, params):
+        profiles = compare(minicsv(1), ["guard-pages", "bounds-check"],
+                           params)
+        guard, bounds = profiles["guard-pages"], profiles["bounds-check"]
+        # bounds checks add a conditional branch per access
+        assert bounds.branches > guard.branches
+        assert bounds.instructions > guard.instructions
+        assert bounds.binary_size > guard.binary_size
+
+    def test_hmov_only_in_hfi_mix(self, params):
+        profiles = compare(minicsv(1), ["guard-pages", "hfi"], params)
+        assert "hmov0" not in profiles["guard-pages"].mix
+        assert profiles["hfi"].mix.get("hmov0", 0) > 0
+
+    def test_top_returns_sorted(self, params):
+        prof = profile(minicsv(1), "guard-pages", params)
+        top = prof.top(3)
+        assert len(top) == 3
+        assert top[0][1] >= top[1][1] >= top[2][1]

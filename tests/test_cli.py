@@ -1,0 +1,70 @@
+"""Tests for the repro-hfi command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list_workloads(self, capsys):
+        assert main(["list-workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "sieve" in out and "445.gobmk" in out
+        assert "sightglass" in out and "spec2006" in out
+
+    def test_run_workload(self, capsys):
+        assert main(["run", "fib2", "--strategy", "hfi"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out and "hlt" in out
+
+    def test_run_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["run", "does-not-exist"])
+
+    def test_run_rejects_unknown_strategy(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fib2", "--strategy", "magic"])
+
+    def test_compare(self, capsys):
+        rc = main(["compare", "minicsv",
+                   "--strategies", "guard-pages,hfi"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "guard-pages" in out and "hfi" in out
+        assert "100.0%" in out
+
+    def test_attack_pht_leaks_without_hfi(self, capsys):
+        assert main(["attack", "pht"]) == 1       # leak => nonzero
+        assert "LEAKED 'I'" in capsys.readouterr().out
+
+    def test_attack_pht_blocked_with_hfi(self, capsys):
+        assert main(["attack", "pht", "--hfi"]) == 0
+        assert "no leak" in capsys.readouterr().out
+
+    def test_attack_btb(self, capsys):
+        assert main(["attack", "btb", "--secret", "Z"]) == 1
+        assert "LEAKED 'Z'" in capsys.readouterr().out
+
+    def test_nginx_table(self, capsys):
+        assert main(["nginx"]) == 0
+        out = capsys.readouterr().out
+        assert "128kb" in out and "HFI overhead" in out
+
+    def test_heap_growth(self, capsys):
+        assert main(["heap-growth", "--gib", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "hfi_set_region" in out and "mprotect" in out
+
+    def test_attack_rsb(self, capsys):
+        assert main(["attack", "rsb"]) == 1
+        assert "LEAKED" in capsys.readouterr().out
+
+    def test_chain(self, capsys):
+        assert main(["chain", "--functions", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "ipc" in out and "advantage" in out
+
+    def test_startup(self, capsys):
+        assert main(["startup"]) == 0
+        out = capsys.readouterr().out
+        assert "container" in out and "wasm-instance-pooled" in out

@@ -1,0 +1,210 @@
+"""White-box tests for the wir compiler: allocation, lowering shapes,
+calling convention, and error paths."""
+
+import pytest
+
+from repro.isa import Opcode, Reg
+from repro.wasm import (
+    CompileError,
+    Compiler,
+    GuardPagesStrategy,
+    HfiStrategy,
+    NativeUnsafeStrategy,
+    WasmRuntime,
+)
+from repro.wasm.interp import interpret
+from repro.wasm.ir import (
+    BinOp,
+    BinaryOp,
+    Call,
+    Const,
+    Function,
+    HostCall,
+    Load,
+    Loop,
+    Module,
+    Move,
+    Return,
+    Store,
+    StoreGlobal,
+)
+
+
+def compile_and_run(module, strategy=None, **kwargs):
+    runtime = WasmRuntime()
+    instance = runtime.instantiate(
+        module, strategy if strategy is not None
+        else NativeUnsafeStrategy(), **kwargs)
+    result = runtime.run(instance)
+    assert result.reason == "hlt", result.fault
+    return runtime, instance, result
+
+
+def opcodes_of(instance):
+    return [ins.opcode for ins in instance.compiled.program.instructions]
+
+
+class TestLoweringShapes:
+    def test_accumulator_binop_is_single_instruction(self):
+        """``x = x + k`` with x in a register lowers to one ADD."""
+        module = Module("acc", [Function("main", [
+            Const("x", 1),
+            BinOp(BinaryOp.ADD, "x", "x", 5),
+            StoreGlobal("result", "x"),
+        ])], globals=["result"])
+        _, instance, _ = compile_and_run(module)
+        adds = [i for i in instance.compiled.program.instructions
+                if i.opcode is Opcode.ADD]
+        assert len(adds) == 1
+
+    def test_dst_aliasing_b_is_stashed(self):
+        """``x = y - x`` must not clobber x before reading it."""
+        module = Module("alias", [Function("main", [
+            Const("x", 3),
+            Const("y", 10),
+            BinOp(BinaryOp.SUB, "x", "y", "x"),
+            StoreGlobal("result", "x"),
+        ])], globals=["result"])
+        runtime, instance, _ = compile_and_run(module)
+        assert runtime.space.read(instance.layout.globals_base) == 7
+        assert interpret(module).global_value("result") == 7
+
+    def test_trap_label_present(self):
+        module = Module("t", [Function("main", [Const("x", 1)])])
+        _, instance, _ = compile_and_run(module)
+        assert "__trap" in instance.compiled.program.labels
+
+    def test_host_call_emits_hfi_transitions(self):
+        module = Module("hc", [Function("main", [HostCall(5)])])
+        _, instance, _ = compile_and_run(module, HfiStrategy())
+        ops = opcodes_of(instance)
+        assert ops.count(Opcode.HFI_EXIT) >= 2   # host call + final exit
+        assert Opcode.HFI_REENTER in ops
+
+    def test_functions_preserve_registers(self):
+        """Callee-saved convention: each function pushes/pops what it
+        uses, so nested call loops terminate."""
+        module = Module("cc", [
+            Function("main", [
+                Const("total", 0),
+                Loop(4, [
+                    Call("leaf"),
+                    BinOp(BinaryOp.ADD, "total", "total", 1),
+                ]),
+                StoreGlobal("result", "total"),
+            ]),
+            Function("leaf", [
+                Const("a", 1), Const("b", 2), Const("c", 3),
+                BinOp(BinaryOp.ADD, "a", "a", "b"),
+            ]),
+        ], globals=["result"])
+        runtime, instance, _ = compile_and_run(module)
+        assert runtime.space.read(instance.layout.globals_base) == 4
+        ops = opcodes_of(instance)
+        assert Opcode.PUSH in ops and Opcode.POP in ops
+
+    def test_early_return_runs_epilogue(self):
+        """Return must restore callee-saved registers (jmp to the
+        epilogue, not a bare ret)."""
+        module = Module("ret", [
+            Function("main", [
+                Const("keep", 123),
+                Call("quits"),
+                StoreGlobal("result", "keep"),
+            ]),
+            Function("quits", [
+                Const("x", 1),
+                Return(),
+                Const("x", 99),
+            ]),
+        ], globals=["result"])
+        runtime, instance, _ = compile_and_run(module)
+        assert runtime.space.read(instance.layout.globals_base) == 123
+
+
+class TestAllocation:
+    def test_reserving_entire_pool_still_works(self):
+        module = Module("allspill", [Function("main", [
+            Const("a", 2), Const("b", 40),
+            BinOp(BinaryOp.ADD, "a", "a", "b"),
+            StoreGlobal("result", "a"),
+        ])], globals=["result"])
+        runtime, instance, _ = compile_and_run(
+            module, NativeUnsafeStrategy(), reserve_extra_regs=9)
+        assert runtime.space.read(instance.layout.globals_base) == 42
+        assert instance.compiled.register_locals == 0
+        assert instance.compiled.spilled_locals >= 2
+
+    def test_spill_slots_distinct_across_functions(self):
+        many = [Const(f"v{i}", i) for i in range(14)]
+        module = Module("two", [
+            Function("main", many + [Call("other"),
+                                     StoreGlobal("result", "v13")]),
+            Function("other", many[:]),
+        ], globals=["result"])
+        compiler = Compiler(NativeUnsafeStrategy())
+        runtime, instance, _ = compile_and_run(module)
+        assert runtime.space.read(instance.layout.globals_base) == 13
+
+    def test_deeply_nested_loops_get_counters(self):
+        body = [Const("n", 0)]
+        inner = [BinOp(BinaryOp.ADD, "n", "n", 1)]
+        for _ in range(6):
+            inner = [Loop(2, inner)]
+        module = Module("deep", [Function("main",
+                                          body + inner
+                                          + [StoreGlobal("result", "n")])],
+                        globals=["result"])
+        runtime, instance, _ = compile_and_run(module)
+        assert runtime.space.read(instance.layout.globals_base) == 64
+
+
+class TestErrorPaths:
+    def test_code_budget_exceeded(self):
+        huge = [Const(f"x{i}", i) for i in range(200)]
+        module = Module("huge", [Function("main", huge * 50)])
+        runtime = WasmRuntime(code_budget=1 << 12)   # 4 KiB budget
+        with pytest.raises(CompileError):
+            runtime.instantiate(module, NativeUnsafeStrategy())
+
+    def test_running_dead_instance_rejected(self):
+        module = Module("dead", [Function("main", [Const("x", 1)])])
+        runtime = WasmRuntime()
+        instance = runtime.instantiate(module, HfiStrategy())
+        runtime.teardown(instance)
+        with pytest.raises(RuntimeError):
+            runtime.run(instance)
+
+
+class TestStrategyCodegenCounts:
+    def test_bounds_adds_three_ops_per_access(self):
+        module = Module("ct", [Function("main", [
+            Const("a", 0),
+            Store("a", 7),
+            Load("x", "a"),
+            StoreGlobal("result", "x"),
+        ])], globals=["result"])
+        from repro.wasm import BoundsCheckStrategy
+        _, plain, _ = compile_and_run(module, GuardPagesStrategy())
+        _, checked, _ = compile_and_run(module, BoundsCheckStrategy())
+        extra = (len(checked.compiled.program.instructions)
+                 - len(plain.compiled.program.instructions))
+        # 2 accesses x (lea+cmp+ja) + 1 bound-register setup
+        assert extra == 2 * 3 + 1
+
+    def test_hfi_adds_no_per_access_instructions(self):
+        module = Module("ct2", [Function("main", [
+            Const("a", 0),
+            Store("a", 7),
+            Load("x", "a"),
+            StoreGlobal("result", "x"),
+        ])], globals=["result"])
+        _, guard, _ = compile_and_run(module, GuardPagesStrategy())
+        _, hfi, _ = compile_and_run(module, HfiStrategy())
+        guard_body = [i for i in guard.compiled.program.instructions
+                      if i.opcode in (Opcode.MOV, Opcode.HMOV0)]
+        hfi_body = [i for i in hfi.compiled.program.instructions
+                    if i.opcode in (Opcode.MOV, Opcode.HMOV0)]
+        # same number of data-movement ops; HFI's are hmov
+        hmovs = [i for i in hfi_body if i.opcode is Opcode.HMOV0]
+        assert len(hmovs) == 2

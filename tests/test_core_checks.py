@@ -1,0 +1,165 @@
+"""Unit tests for HFI check logic: prefix matching and hmov semantics."""
+
+import pytest
+
+from repro.core import (
+    ExplicitDataRegion,
+    FaultCause,
+    HfiFault,
+    ImplicitCodeRegion,
+    ImplicitDataRegion,
+    hmov_check_hardware,
+    hmov_effective_address,
+    implicit_code_check,
+    implicit_data_check,
+)
+
+RO = ImplicitDataRegion(0x1_0000, 0xFFFF, permission_read=True)
+RW = ImplicitDataRegion(0x2_0000, 0xFFFF, permission_read=True,
+                        permission_write=True)
+
+
+class TestImplicitDataCheck:
+    def test_in_bounds_read_ok(self):
+        implicit_data_check([RO, None, None, None], 0x1_0000, 8, False)
+
+    def test_out_of_bounds_faults(self):
+        with pytest.raises(HfiFault) as excinfo:
+            implicit_data_check([RO, None, None, None], 0x3_0000, 8, False)
+        assert excinfo.value.cause is FaultCause.DATA_OUT_OF_BOUNDS
+
+    def test_write_to_readonly_faults(self):
+        with pytest.raises(HfiFault) as excinfo:
+            implicit_data_check([RO, None, None, None], 0x1_0000, 8, True)
+        assert excinfo.value.cause is FaultCause.DATA_PERMISSION
+
+    def test_first_match_wins(self):
+        """Overlapping regions: the first match's permissions govern (§3.2)."""
+        wide_ro = ImplicitDataRegion(0x0, 0x3_FFFF, permission_read=True)
+        narrow_rw = ImplicitDataRegion(0x2_0000, 0xFFFF,
+                                       permission_read=True,
+                                       permission_write=True)
+        # RO region listed first: writes denied even inside narrow_rw.
+        with pytest.raises(HfiFault):
+            implicit_data_check([wide_ro, narrow_rw, None, None],
+                                0x2_0000, 8, True)
+        # RW region listed first: writes allowed.
+        implicit_data_check([narrow_rw, wide_ro, None, None],
+                            0x2_0000, 8, True)
+
+    def test_access_straddling_region_edge_faults(self):
+        with pytest.raises(HfiFault):
+            implicit_data_check([RO, None, None, None], 0x1_FFFC, 8, False)
+
+    def test_straddle_into_adjacent_region_ok(self):
+        a = ImplicitDataRegion(0x1_0000, 0xFFFF, permission_read=True)
+        b = ImplicitDataRegion(0x2_0000, 0xFFFF, permission_read=True)
+        implicit_data_check([a, b, None, None], 0x1_FFFC, 8, False)
+
+    def test_no_regions_always_faults(self):
+        """By default a sandbox has no access to memory (§3.2)."""
+        with pytest.raises(HfiFault):
+            implicit_data_check([None, None, None, None], 0, 1, False)
+
+
+class TestImplicitCodeCheck:
+    CODE = ImplicitCodeRegion(0x40_0000, 0xFFFF)
+
+    def test_fetch_inside_ok(self):
+        implicit_code_check([self.CODE, None], 0x40_1234)
+
+    def test_fetch_outside_faults(self):
+        with pytest.raises(HfiFault) as excinfo:
+            implicit_code_check([self.CODE, None], 0x50_0000)
+        assert excinfo.value.cause is FaultCause.CODE_OUT_OF_BOUNDS
+
+    def test_no_exec_permission_faults(self):
+        nx = ImplicitCodeRegion(0x40_0000, 0xFFFF, permission_exec=False)
+        with pytest.raises(HfiFault):
+            implicit_code_check([nx, None], 0x40_0000)
+
+
+LARGE = ExplicitDataRegion(0x10_0000, 4 << 16, permission_read=True,
+                           permission_write=True, is_large_region=True)
+SMALL = ExplicitDataRegion(0x5000_1003, 1000, permission_read=True,
+                           permission_write=True, is_large_region=False)
+
+
+class TestHmovSemantics:
+    def test_offset_addressing_is_region_relative(self):
+        ea = hmov_effective_address(LARGE, index=16, scale=8, disp=64,
+                                    size=8, is_write=False)
+        assert ea == LARGE.base_address + 16 * 8 + 64
+
+    def test_negative_disp_traps(self):
+        with pytest.raises(HfiFault) as excinfo:
+            hmov_effective_address(LARGE, 0, 1, -8, 8, False)
+        assert excinfo.value.cause is FaultCause.HMOV_NEGATIVE_OPERAND
+
+    def test_negative_index_traps(self):
+        neg = (1 << 64) - 8  # -8 as a register value
+        with pytest.raises(HfiFault) as excinfo:
+            hmov_effective_address(LARGE, neg, 1, 0, 8, False)
+        assert excinfo.value.cause is FaultCause.HMOV_NEGATIVE_OPERAND
+
+    def test_out_of_bounds_traps(self):
+        with pytest.raises(HfiFault) as excinfo:
+            hmov_effective_address(LARGE, 0, 1, LARGE.bound, 1, False)
+        assert excinfo.value.cause is FaultCause.HMOV_OUT_OF_BOUNDS
+
+    def test_last_byte_in_bounds_ok(self):
+        hmov_effective_address(LARGE, 0, 1, LARGE.bound - 8, 8, False)
+
+    def test_access_crossing_bound_traps(self):
+        with pytest.raises(HfiFault):
+            hmov_effective_address(LARGE, 0, 1, LARGE.bound - 4, 8, False)
+
+    def test_unconfigured_region_traps(self):
+        with pytest.raises(HfiFault) as excinfo:
+            hmov_effective_address(None, 0, 1, 0, 8, False)
+        assert excinfo.value.cause is FaultCause.HMOV_REGION_CLEAR
+
+    def test_permission_checked(self):
+        ro = ExplicitDataRegion(0x10_0000, 1 << 16, permission_read=True,
+                                permission_write=False)
+        with pytest.raises(HfiFault) as excinfo:
+            hmov_effective_address(ro, 0, 1, 0, 8, True)
+        assert excinfo.value.cause is FaultCause.HMOV_PERMISSION
+
+    def test_effective_address_overflow_traps(self):
+        big = ExplicitDataRegion((1 << 48) - (1 << 16), 1 << 16,
+                                 permission_read=True)
+        with pytest.raises(HfiFault):
+            hmov_effective_address(big, (1 << 63) // 8, 8, 1 << 20, 8, False)
+
+
+class TestHardwareComparator:
+    """The §4.2 single-32-bit-comparator model agrees with the golden
+    semantics over the legal space (full sweep in the ablation bench)."""
+
+    @pytest.mark.parametrize("offset,expected", [
+        (0, True),
+        (100, True),
+        (LARGE.bound - 1, True),
+        (LARGE.bound, False),
+        (LARGE.bound + (1 << 20), False),
+    ])
+    def test_large_region_agreement(self, offset, expected):
+        ok, ea = hmov_check_hardware(LARGE, 0, 1, offset)
+        assert ok is expected
+        if ok:
+            assert ea == LARGE.base_address + offset
+
+    @pytest.mark.parametrize("offset,expected", [
+        (0, True),
+        (999, True),
+        (1000, False),
+        (1 << 33, False),  # would wrap the low-32 comparison
+    ])
+    def test_small_region_agreement(self, offset, expected):
+        ok, _ = hmov_check_hardware(SMALL, 0, 1, offset)
+        assert ok is expected
+
+    def test_negative_operands_rejected(self):
+        ok, _ = hmov_check_hardware(LARGE, (1 << 64) - 1, 1, 0)
+        assert not ok

@@ -1,0 +1,115 @@
+"""Unit tests for HFI region descriptors (paper §3.2)."""
+
+import pytest
+
+from repro.core import (
+    GIB4,
+    KIB64,
+    ExplicitDataRegion,
+    ImplicitCodeRegion,
+    ImplicitDataRegion,
+    RegionError,
+    region_class,
+)
+
+
+class TestImplicitRegions:
+    def test_prefix_match_inside(self):
+        region = ImplicitDataRegion(base_prefix=0x7FFF_0000,
+                                    lsb_mask=0xFFFF,
+                                    permission_read=True)
+        assert region.matches(0x7FFF_0000)
+        assert region.matches(0x7FFF_FFFF)
+        assert not region.matches(0x7FFE_FFFF)
+        assert not region.matches(0x8000_0000)
+
+    def test_size_is_power_of_two(self):
+        region = ImplicitDataRegion(0x1_0000, 0xFFFF)
+        assert region.size == KIB64
+
+    def test_mask_must_be_contiguous(self):
+        with pytest.raises(RegionError):
+            ImplicitDataRegion(base_prefix=0, lsb_mask=0b1010)
+
+    def test_base_must_align_to_mask(self):
+        with pytest.raises(RegionError):
+            ImplicitDataRegion(base_prefix=0x1234, lsb_mask=0xFFFF)
+
+    def test_covering_builds_smallest_region(self):
+        region = ImplicitDataRegion.covering(0x40_1000, 0x3000)
+        assert region.matches(0x40_1000)
+        assert region.matches(0x40_3FFF)
+        # smallest aligned power-of-two cover of [0x401000, 0x404000)
+        assert region.size <= 0x8000
+
+    def test_covering_handles_unaligned_base(self):
+        region = ImplicitCodeRegion.covering(0xFFF0, 0x20)
+        assert region.matches(0xFFF0)
+        assert region.matches(0x1000F)
+
+    def test_code_region_exec_permission(self):
+        region = ImplicitCodeRegion(0x40_0000, 0xFFFF, permission_exec=True)
+        assert region.permission_exec
+
+
+class TestExplicitRegions:
+    def test_large_region_alignment_enforced(self):
+        with pytest.raises(RegionError):
+            ExplicitDataRegion(base_address=0x1234, bound=KIB64,
+                               is_large_region=True)
+        with pytest.raises(RegionError):
+            ExplicitDataRegion(base_address=0, bound=KIB64 + 1,
+                               is_large_region=True)
+
+    def test_large_region_max_bound(self):
+        ExplicitDataRegion(0, 1 << 48, is_large_region=True)
+        with pytest.raises(RegionError):
+            ExplicitDataRegion(0, (1 << 48) + KIB64, is_large_region=True)
+
+    def test_small_region_byte_granular(self):
+        region = ExplicitDataRegion(base_address=0x1003, bound=37,
+                                    is_large_region=False)
+        assert region.end == 0x1003 + 37
+
+    def test_small_region_cannot_span_4gib(self):
+        # crosses the first 4 GiB boundary
+        with pytest.raises(RegionError):
+            ExplicitDataRegion(base_address=GIB4 - 8, bound=64,
+                               is_large_region=False)
+        # exactly touching the boundary from below is fine
+        ExplicitDataRegion(base_address=GIB4 - 64, bound=64,
+                           is_large_region=False)
+
+    def test_small_region_max_bound(self):
+        ExplicitDataRegion(0, GIB4, is_large_region=False)
+        with pytest.raises(RegionError):
+            ExplicitDataRegion(0, GIB4 + 1, is_large_region=False)
+
+    def test_resize_preserves_everything_else(self):
+        region = ExplicitDataRegion(0x10000, KIB64, permission_read=True,
+                                    permission_write=True)
+        grown = region.resize(4 * KIB64)
+        assert grown.bound == 4 * KIB64
+        assert grown.base_address == region.base_address
+        assert grown.permission_write
+
+    def test_resize_still_validates(self):
+        region = ExplicitDataRegion(0x10000, KIB64)
+        with pytest.raises(RegionError):
+            region.resize(KIB64 + 3)  # large regions are 64K-granular
+
+
+class TestRegionNumbering:
+    def test_paper_appendix_numbering(self):
+        assert region_class(0) == "code"
+        assert region_class(1) == "code"
+        assert region_class(2) == "implicit_data"
+        assert region_class(5) == "implicit_data"
+        assert region_class(6) == "explicit_data"
+        assert region_class(9) == "explicit_data"
+
+    def test_out_of_range(self):
+        with pytest.raises(RegionError):
+            region_class(10)
+        with pytest.raises(RegionError):
+            region_class(-1)

@@ -1,0 +1,205 @@
+"""Unit tests for the HFI state machine (paper §3.3, §4.3-§4.5)."""
+
+import pytest
+
+from repro.core import (
+    ExplicitDataRegion,
+    FaultCause,
+    HfiFault,
+    HfiState,
+    ImplicitCodeRegion,
+    ImplicitDataRegion,
+    SandboxFlags,
+)
+from repro.params import MachineParams
+
+
+@pytest.fixture
+def params():
+    return MachineParams()
+
+
+@pytest.fixture
+def hfi(params):
+    return HfiState(params)
+
+
+def _code_region():
+    return ImplicitCodeRegion(0x40_0000, 0xFFFF)
+
+
+def _data_region(read=True, write=True):
+    return ImplicitDataRegion(0x10_0000, 0xFFFF, read, write)
+
+
+class TestEnterExit:
+    def test_enter_enables(self, hfi):
+        hfi.enter(SandboxFlags())
+        assert hfi.enabled
+
+    def test_exit_disables_and_sets_msr(self, hfi):
+        hfi.enter(SandboxFlags())
+        outcome = hfi.exit()
+        assert not hfi.enabled
+        assert outcome.cause is FaultCause.EXIT_INSTRUCTION
+        assert hfi.read_cause_msr() is FaultCause.EXIT_INSTRUCTION
+
+    def test_exit_outside_sandbox_is_noop(self, hfi):
+        outcome = hfi.exit()
+        assert outcome.cause is FaultCause.NONE
+
+    def test_serialized_enter_costs_drain(self, hfi, params):
+        plain = hfi.enter(SandboxFlags(is_serialized=False))
+        hfi.exit()
+        serialized = hfi.enter(SandboxFlags(is_serialized=True))
+        assert serialized == plain + params.serialize_drain_cycles
+
+    def test_native_exit_redirects_to_handler(self, hfi):
+        hfi.enter(SandboxFlags(is_hybrid=False), exit_handler=0xBEEF)
+        outcome = hfi.exit()
+        assert outcome.redirect_to == 0xBEEF
+
+    def test_reenter_restores_sandbox(self, hfi):
+        hfi.set_region(0, _code_region())
+        hfi.enter(SandboxFlags(is_hybrid=True))
+        hfi.exit()
+        hfi.reenter()
+        assert hfi.enabled
+        assert hfi.regs.get(0) == _code_region()
+
+    def test_reenter_without_exit_faults(self, hfi):
+        with pytest.raises(HfiFault) as excinfo:
+            hfi.reenter()
+        assert excinfo.value.cause is FaultCause.BAD_REENTER
+
+
+class TestRegionLocking:
+    def test_native_sandbox_locks_regions(self, hfi):
+        hfi.enter(SandboxFlags(is_hybrid=False))
+        with pytest.raises(HfiFault) as excinfo:
+            hfi.set_region(2, _data_region())
+        assert excinfo.value.cause is FaultCause.REGION_LOCKED
+
+    def test_hybrid_sandbox_can_update_regions(self, hfi):
+        hfi.enter(SandboxFlags(is_hybrid=True))
+        cost = hfi.set_region(6, ExplicitDataRegion(0x10000, 1 << 16,
+                                                    permission_read=True))
+        assert hfi.regs.get(6) is not None
+        assert cost > 0
+
+    def test_hybrid_region_update_serializes(self, hfi, params):
+        cost_outside = hfi.set_region(2, _data_region())
+        hfi.enter(SandboxFlags(is_hybrid=True))
+        cost_inside = hfi.set_region(2, _data_region())
+        assert cost_inside == cost_outside + params.serialize_drain_cycles
+
+    def test_clear_all_locked_in_native(self, hfi):
+        hfi.enter(SandboxFlags(is_hybrid=False))
+        with pytest.raises(HfiFault):
+            hfi.clear_all_regions()
+
+    def test_unlocked_after_exit(self, hfi):
+        hfi.enter(SandboxFlags(is_hybrid=False))
+        hfi.exit()
+        hfi.set_region(2, _data_region())  # no fault
+
+
+class TestSyscallInterposition:
+    def test_native_syscall_redirects(self, hfi):
+        hfi.enter(SandboxFlags(is_hybrid=False), exit_handler=0xCAFE)
+        outcome = hfi.syscall_attempt(nr=2)
+        assert outcome is not None
+        assert outcome.redirect_to == 0xCAFE
+        assert hfi.read_cause_msr() is FaultCause.SYSCALL
+        assert not hfi.enabled
+
+    def test_legacy_int80_records_distinct_cause(self, hfi):
+        hfi.enter(SandboxFlags(is_hybrid=False), exit_handler=0xCAFE)
+        outcome = hfi.syscall_attempt(nr=2, legacy=True)
+        assert outcome.cause is FaultCause.INT80
+
+    def test_hybrid_syscall_passes_through(self, hfi):
+        hfi.enter(SandboxFlags(is_hybrid=True))
+        assert hfi.syscall_attempt(nr=2) is None
+        assert hfi.enabled
+
+    def test_no_sandbox_syscall_passes_through(self, hfi):
+        assert hfi.syscall_attempt(nr=2) is None
+
+
+class TestFaults:
+    def test_fault_disables_and_records(self, hfi):
+        hfi.enter(SandboxFlags(is_hybrid=False), exit_handler=0xCAFE)
+        outcome = hfi.fault(FaultCause.DATA_OUT_OF_BOUNDS, addr=0x999)
+        assert not hfi.enabled
+        assert outcome.redirect_to is None  # faults go via signals
+        assert hfi.read_cause_msr() is FaultCause.DATA_OUT_OF_BOUNDS
+
+    def test_xrstor_in_native_sandbox_traps(self, hfi):
+        saved = hfi.snapshot()
+        hfi.enter(SandboxFlags(is_hybrid=False))
+        with pytest.raises(HfiFault) as excinfo:
+            hfi.restore(saved)
+        assert excinfo.value.cause is FaultCause.XRSTOR_IN_SANDBOX
+
+    def test_xrstor_outside_sandbox_ok(self, hfi):
+        hfi.set_region(2, _data_region())
+        saved = hfi.snapshot()
+        hfi.clear_all_regions()
+        hfi.restore(saved)
+        assert hfi.regs.get(2) == _data_region()
+
+
+class TestSwitchOnExit:
+    def _setup_runtime(self, hfi):
+        """Trusted runtime runs itself in a serialized hybrid sandbox."""
+        hfi.set_region(0, _code_region())
+        hfi.set_region(2, _data_region())
+        hfi.enter(SandboxFlags(is_hybrid=True, is_serialized=True))
+
+    def test_exit_switches_back_without_disabling(self, hfi):
+        self._setup_runtime(hfi)
+        runtime_data = hfi.regs.get(2)
+        # run a child sandbox with switch-on-exit
+        hfi.regs.flags = SandboxFlags(is_hybrid=True)  # still in runtime
+        hfi.enter(SandboxFlags(is_hybrid=False, switch_on_exit=True),
+                  exit_handler=0x1234)
+        hfi.regs.set(2, None)  # child has different regions
+        outcome = hfi.exit()
+        assert outcome.switched_back
+        assert hfi.enabled            # still sandboxed (runtime's bank)
+        assert hfi.regs.get(2) == runtime_data
+
+    def test_switch_on_exit_avoids_serialization(self, hfi, params):
+        self._setup_runtime(hfi)
+        before = hfi.serializations
+        hfi.enter(SandboxFlags(switch_on_exit=True))
+        hfi.exit()
+        assert hfi.serializations == before
+
+    def test_syscall_in_child_switches_back(self, hfi):
+        self._setup_runtime(hfi)
+        hfi.enter(SandboxFlags(is_hybrid=False, switch_on_exit=True),
+                  exit_handler=0x1234)
+        outcome = hfi.syscall_attempt(nr=0)
+        assert outcome.switched_back
+        assert hfi.enabled
+        assert hfi.read_cause_msr() is FaultCause.SYSCALL
+
+
+class TestSnapshotRestore:
+    def test_snapshot_roundtrip(self, hfi):
+        hfi.set_region(0, _code_region())
+        hfi.set_region(6, ExplicitDataRegion(0x2_0000, 1 << 16,
+                                             permission_read=True))
+        saved = hfi.snapshot()
+        hfi.clear_all_regions()
+        hfi.restore(saved)
+        assert hfi.regs.get(0) == _code_region()
+        assert hfi.regs.get(6).base_address == 0x2_0000
+
+    def test_snapshot_is_independent(self, hfi):
+        hfi.set_region(2, _data_region())
+        saved = hfi.snapshot()
+        hfi.set_region(2, None)
+        assert saved.get(2) is not None

@@ -1,0 +1,372 @@
+"""Integration tests for the cycle-level CPU simulator."""
+
+import pytest
+
+from repro.core import (
+    ExplicitDataRegion,
+    FaultCause,
+    ImplicitCodeRegion,
+    ImplicitDataRegion,
+    SandboxFlags,
+)
+from repro.core.encoding import encode_region, encode_sandbox
+from repro.cpu import Cpu
+from repro.isa import Assembler, Imm, Mem, Reg
+from repro.os import AddressSpace, Prot
+from repro.params import MachineParams
+
+
+@pytest.fixture
+def params():
+    return MachineParams()
+
+
+def make_cpu(params, heap_bytes=1 << 20):
+    mem = AddressSpace(params)
+    cpu = Cpu(params, memory=mem)
+    heap = mem.mmap(heap_bytes, Prot.rw(), addr=0x10_0000)
+    stack = mem.mmap(1 << 16, Prot.rw(), addr=0x7F_0000)
+    cpu.regs.write(Reg.RSP, stack + (1 << 16) - 64)
+    return cpu, heap
+
+
+class TestArithmetic:
+    def test_sum_loop(self, params):
+        cpu, _ = make_cpu(params)
+        asm = Assembler()
+        asm.mov(Reg.RAX, Imm(0))
+        asm.mov(Reg.RCX, Imm(0))
+        asm.label("loop")
+        asm.add(Reg.RAX, Reg.RCX)
+        asm.inc(Reg.RCX)
+        asm.cmp(Reg.RCX, Imm(100))
+        asm.jne("loop")
+        asm.hlt()
+        program = asm.assemble()
+        cpu.load_program(program)
+        result = cpu.run(program.base)
+        assert result.reason == "hlt"
+        assert cpu.regs.read(Reg.RAX) == sum(range(100))
+
+    def test_signed_comparisons(self, params):
+        cpu, _ = make_cpu(params)
+        asm = Assembler()
+        asm.mov(Reg.RAX, Imm(0))
+        asm.mov(Reg.RBX, Imm((1 << 64) - 5))  # -5
+        asm.cmp(Reg.RBX, Imm(3))
+        asm.jl("neg_less")
+        asm.hlt()
+        asm.label("neg_less")
+        asm.mov(Reg.RAX, Imm(1))
+        asm.hlt()
+        program = asm.assemble()
+        cpu.load_program(program)
+        cpu.run(program.base)
+        assert cpu.regs.read(Reg.RAX) == 1
+
+    def test_mul_and_shifts(self, params):
+        cpu, _ = make_cpu(params)
+        asm = Assembler()
+        asm.mov(Reg.RAX, Imm(7))
+        asm.imul(Reg.RAX, Imm(6))
+        asm.shl(Reg.RAX, Imm(2))
+        asm.shr(Reg.RAX, Imm(1))
+        asm.hlt()
+        program = asm.assemble()
+        cpu.load_program(program)
+        cpu.run(program.base)
+        assert cpu.regs.read(Reg.RAX) == 7 * 6 * 4 // 2
+
+
+class TestMemory:
+    def test_load_store_roundtrip(self, params):
+        cpu, heap = make_cpu(params)
+        asm = Assembler()
+        asm.mov(Reg.RBX, Imm(heap))
+        asm.mov(Reg.RAX, Imm(0x1234))
+        asm.mov(Mem(base=Reg.RBX, disp=64), Reg.RAX)
+        asm.mov(Reg.RCX, Mem(base=Reg.RBX, disp=64))
+        asm.hlt()
+        program = asm.assemble()
+        cpu.load_program(program)
+        cpu.run(program.base)
+        assert cpu.regs.read(Reg.RCX) == 0x1234
+
+    def test_scaled_index_addressing(self, params):
+        cpu, heap = make_cpu(params)
+        cpu.mem.write(heap + 8 * 5, 99, 8)
+        asm = Assembler()
+        asm.mov(Reg.RBX, Imm(heap))
+        asm.mov(Reg.RCX, Imm(5))
+        asm.mov(Reg.RAX, Mem(base=Reg.RBX, index=Reg.RCX, scale=8))
+        asm.hlt()
+        program = asm.assemble()
+        cpu.load_program(program)
+        cpu.run(program.base)
+        assert cpu.regs.read(Reg.RAX) == 99
+
+    def test_push_pop(self, params):
+        cpu, _ = make_cpu(params)
+        asm = Assembler()
+        asm.mov(Reg.RAX, Imm(0xAA))
+        asm.push(Reg.RAX)
+        asm.mov(Reg.RAX, Imm(0))
+        asm.pop(Reg.RBX)
+        asm.hlt()
+        program = asm.assemble()
+        cpu.load_program(program)
+        cpu.run(program.base)
+        assert cpu.regs.read(Reg.RBX) == 0xAA
+
+    def test_unmapped_access_faults(self, params):
+        cpu, _ = make_cpu(params)
+        asm = Assembler()
+        asm.mov(Reg.RBX, Imm(0x6666_0000))
+        asm.mov(Reg.RAX, Mem(base=Reg.RBX))
+        asm.hlt()
+        program = asm.assemble()
+        cpu.load_program(program)
+        result = cpu.run(program.base)
+        assert result.reason == "fault"
+        assert result.fault.kind == "page"
+
+    def test_repeated_loads_hit_cache(self, params):
+        """Second pass over the same array must be much faster (L1 hits)."""
+        def run_pass(n_passes):
+            cpu, heap = make_cpu(params)
+            asm = Assembler()
+            asm.mov(Reg.RBX, Imm(heap))
+            asm.mov(Reg.RDX, Imm(0))           # pass counter
+            asm.label("outer")
+            asm.mov(Reg.RCX, Imm(0))
+            asm.label("loop")
+            asm.mov(Reg.RAX, Mem(base=Reg.RBX, index=Reg.RCX, scale=8))
+            asm.inc(Reg.RCX)
+            asm.cmp(Reg.RCX, Imm(64))
+            asm.jne("loop")
+            asm.inc(Reg.RDX)
+            asm.cmp(Reg.RDX, Imm(n_passes))
+            asm.jne("outer")
+            asm.hlt()
+            program = asm.assemble()
+            cpu.load_program(program)
+            return cpu.run(program.base).cycles
+
+        one = run_pass(1)
+        two = run_pass(2)
+        # The second pass costs far less than the first (cache-warm).
+        assert two - one < one * 0.8
+
+
+class TestCallsAndBranches:
+    def test_call_ret(self, params):
+        cpu, _ = make_cpu(params)
+        asm = Assembler()
+        asm.call("fn")
+        asm.hlt()
+        asm.label("fn")
+        asm.mov(Reg.RAX, Imm(42))
+        asm.ret()
+        program = asm.assemble()
+        cpu.load_program(program)
+        result = cpu.run(program.base)
+        assert result.reason == "hlt"
+        assert cpu.regs.read(Reg.RAX) == 42
+
+    def test_indirect_jump(self, params):
+        cpu, _ = make_cpu(params)
+        asm = Assembler()
+        asm.mov(Reg.RAX, Imm(0))
+        asm.lea(Reg.RBX, Mem(disp=0))  # patched below
+        asm.jmp(Reg.RBX)
+        asm.hlt()
+        asm.label("target")
+        asm.mov(Reg.RAX, Imm(7))
+        asm.hlt()
+        program = asm.assemble()
+        # patch the lea to the real target address
+        target = program.labels["target"]
+        lea = program.instructions[1]
+        lea.operands = (Reg.RBX, Mem(disp=target))
+        cpu.load_program(program)
+        cpu.run(program.base)
+        assert cpu.regs.read(Reg.RAX) == 7
+
+    def test_branch_predictor_learns(self, params):
+        """A tight always-taken loop should mispredict only O(1) times."""
+        cpu, _ = make_cpu(params)
+        asm = Assembler()
+        asm.mov(Reg.RCX, Imm(0))
+        asm.label("loop")
+        asm.inc(Reg.RCX)
+        asm.cmp(Reg.RCX, Imm(1000))
+        asm.jne("loop")
+        asm.hlt()
+        program = asm.assemble()
+        cpu.load_program(program)
+        cpu.run(program.base)
+        assert cpu.stats.branches >= 1000
+        assert cpu.stats.mispredicts <= 5
+
+
+class TestHfiOnCpu:
+    def _sandboxed_cpu(self, params, *, region_perms=(True, True)):
+        """Build a CPU with a program that enters a native sandbox and
+        pokes memory through an implicit region."""
+        cpu, heap = make_cpu(params)
+        mem = cpu.mem
+        # descriptors staged in runtime memory
+        desc = mem.mmap(4096, Prot.rw(), addr=0x20_0000)
+        code_region = ImplicitCodeRegion.covering(0x40_0000, 1 << 16)
+        data_region = ImplicitDataRegion(heap, 0xFFFF,
+                                         permission_read=region_perms[0],
+                                         permission_write=region_perms[1])
+        # stack region so push/pop keeps working inside the sandbox
+        stack_region = ImplicitDataRegion(0x7F_0000, 0xFFFF, True, True)
+        mem.write_bytes(desc, encode_region(code_region))
+        mem.write_bytes(desc + 24, encode_region(data_region))
+        mem.write_bytes(desc + 48, encode_region(stack_region))
+        mem.write_bytes(desc + 72, encode_sandbox(
+            SandboxFlags(is_hybrid=False, is_serialized=True),
+            exit_handler=0))
+        return cpu, heap, desc
+
+    def test_in_bounds_access_inside_sandbox(self, params):
+        cpu, heap, desc = self._sandboxed_cpu(params)
+        asm = Assembler()
+        asm.mov(Reg.RDI, Imm(desc))
+        asm.hfi_set_region(0, Reg.RDI)
+        asm.mov(Reg.RDI, Imm(desc + 24))
+        asm.hfi_set_region(2, Reg.RDI)
+        asm.mov(Reg.RDI, Imm(desc + 48))
+        asm.hfi_set_region(3, Reg.RDI)
+        asm.mov(Reg.RDI, Imm(desc + 72))
+        asm.hfi_enter(Reg.RDI)
+        asm.mov(Reg.RBX, Imm(heap))
+        asm.mov(Reg.RAX, Imm(77))
+        asm.mov(Mem(base=Reg.RBX, disp=8), Reg.RAX)
+        asm.mov(Reg.RCX, Mem(base=Reg.RBX, disp=8))
+        asm.hfi_exit()
+        asm.hlt()
+        program = asm.assemble()
+        cpu.load_program(program)
+        result = cpu.run(program.base)
+        assert result.reason == "hlt"
+        assert cpu.regs.read(Reg.RCX) == 77
+
+    def test_out_of_bounds_access_traps(self, params):
+        cpu, heap, desc = self._sandboxed_cpu(params)
+        asm = Assembler()
+        asm.mov(Reg.RDI, Imm(desc))
+        asm.hfi_set_region(0, Reg.RDI)
+        asm.mov(Reg.RDI, Imm(desc + 24))
+        asm.hfi_set_region(2, Reg.RDI)
+        asm.mov(Reg.RDI, Imm(desc + 72))
+        asm.hfi_enter(Reg.RDI)
+        asm.mov(Reg.RBX, Imm(0x20_0000))   # the descriptor page: outside
+        asm.mov(Reg.RAX, Mem(base=Reg.RBX))
+        asm.hfi_exit()
+        asm.hlt()
+        program = asm.assemble()
+        cpu.load_program(program)
+        result = cpu.run(program.base)
+        assert result.reason == "fault"
+        assert result.fault.kind == "hfi"
+        assert result.fault.hfi_cause is FaultCause.DATA_OUT_OF_BOUNDS
+        assert not cpu.hfi.enabled  # fault disabled the sandbox
+
+    def test_code_fetch_outside_region_traps(self, params):
+        cpu, heap, desc = self._sandboxed_cpu(params)
+        asm = Assembler()
+        asm.mov(Reg.RDI, Imm(desc))
+        asm.hfi_set_region(0, Reg.RDI)
+        asm.mov(Reg.RDI, Imm(desc + 72))
+        asm.hfi_enter(Reg.RDI)
+        asm.jmp(Imm(0x50_0000))  # outside the sandbox's code region
+        asm.hlt()
+        program = asm.assemble()
+        far = Assembler(base=0x50_0000)
+        far.nop()
+        far.hlt()
+        far_prog = far.assemble()
+        cpu.load_program(program)
+        cpu.load_program(far_prog)
+        result = cpu.run(program.base)
+        assert result.reason == "fault"
+        assert result.fault.hfi_cause is FaultCause.CODE_OUT_OF_BOUNDS
+
+    def test_native_syscall_redirects_to_handler(self, params):
+        cpu, heap, desc = self._sandboxed_cpu(params)
+        mem = cpu.mem
+        handler_asm = Assembler(base=0x41_0000)
+        handler_asm.mov(Reg.RAX, Imm(0x5AFE))
+        handler_asm.hlt()
+        handler_prog = handler_asm.assemble()
+        mem.write_bytes(desc + 72, encode_sandbox(
+            SandboxFlags(is_hybrid=False), exit_handler=0x41_0000))
+        asm = Assembler()
+        asm.mov(Reg.RDI, Imm(desc))
+        asm.hfi_set_region(0, Reg.RDI)
+        asm.mov(Reg.RDI, Imm(desc + 72))
+        asm.hfi_enter(Reg.RDI)
+        asm.mov(Reg.RAX, Imm(39))  # getpid
+        asm.syscall()
+        asm.hlt()
+        program = asm.assemble()
+        cpu.load_program(program)
+        cpu.load_program(handler_prog)
+        result = cpu.run(program.base)
+        assert result.reason == "hlt"
+        assert cpu.regs.read(Reg.RAX) == 0x5AFE
+        assert cpu.stats.interposed_syscalls == 1
+        assert cpu.hfi.read_cause_msr() is FaultCause.SYSCALL
+
+    def test_hmov_inside_sandbox(self, params):
+        cpu, heap, desc = self._sandboxed_cpu(params)
+        mem = cpu.mem
+        explicit = ExplicitDataRegion(heap, 1 << 16, permission_read=True,
+                                      permission_write=True)
+        mem.write_bytes(desc + 96, encode_region(explicit))
+        asm = Assembler()
+        asm.mov(Reg.RDI, Imm(desc))
+        asm.hfi_set_region(0, Reg.RDI)
+        asm.mov(Reg.RDI, Imm(desc + 96))
+        asm.hfi_set_region(6, Reg.RDI)
+        asm.mov(Reg.RDI, Imm(desc + 72))
+        asm.hfi_enter(Reg.RDI)
+        asm.mov(Reg.RCX, Imm(3))
+        asm.mov(Reg.RAX, Imm(0xFEED))
+        # store via explicit region 0: [region0.base + rcx*8 + 0x10]
+        asm.hmov(0, Mem(index=Reg.RCX, scale=8, disp=0x10), Reg.RAX)
+        asm.hmov(0, Reg.RBX, Mem(index=Reg.RCX, scale=8, disp=0x10))
+        asm.hfi_exit()
+        asm.hlt()
+        program = asm.assemble()
+        cpu.load_program(program)
+        result = cpu.run(program.base)
+        assert result.reason == "hlt"
+        assert cpu.regs.read(Reg.RBX) == 0xFEED
+        assert cpu.mem.read(heap + 3 * 8 + 0x10) == 0xFEED
+
+    def test_hmov_out_of_bounds_traps(self, params):
+        cpu, heap, desc = self._sandboxed_cpu(params)
+        mem = cpu.mem
+        explicit = ExplicitDataRegion(heap, 1 << 16, permission_read=True,
+                                      permission_write=True)
+        mem.write_bytes(desc + 96, encode_region(explicit))
+        asm = Assembler()
+        asm.mov(Reg.RDI, Imm(desc))
+        asm.hfi_set_region(0, Reg.RDI)
+        asm.mov(Reg.RDI, Imm(desc + 96))
+        asm.hfi_set_region(6, Reg.RDI)
+        asm.mov(Reg.RDI, Imm(desc + 72))
+        asm.hfi_enter(Reg.RDI)
+        asm.mov(Reg.RCX, Imm((1 << 16) // 8))  # one element past the end
+        asm.hmov(0, Reg.RBX, Mem(index=Reg.RCX, scale=8))
+        asm.hfi_exit()
+        asm.hlt()
+        program = asm.assemble()
+        cpu.load_program(program)
+        result = cpu.run(program.base)
+        assert result.reason == "fault"
+        assert result.fault.hfi_cause is FaultCause.HMOV_OUT_OF_BOUNDS

@@ -1,0 +1,182 @@
+"""Unit tests for CPU components: caches, TLB, branch predictors."""
+
+from repro.cpu import (
+    BranchTargetBuffer,
+    Cache,
+    CacheHierarchy,
+    PatternHistoryTable,
+    ReturnStackBuffer,
+    Tlb,
+)
+from repro.params import MachineParams
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        cache = Cache(sets=4, ways=2)
+        assert not cache.access(0x1000)
+        assert cache.access(0x1000)
+
+    def test_same_line_different_bytes_hit(self):
+        cache = Cache(sets=4, ways=2, line_bytes=64)
+        cache.access(0x1000)
+        assert cache.access(0x103F)
+        assert not cache.access(0x1040)  # next line
+
+    def test_lru_eviction_within_set(self):
+        cache = Cache(sets=1, ways=2, line_bytes=64)
+        cache.access(0x0)
+        cache.access(0x40)
+        cache.access(0x80)        # evicts 0x0 (LRU)
+        assert not cache.lookup(0x0)
+        assert cache.lookup(0x40)
+        assert cache.lookup(0x80)
+
+    def test_access_refreshes_lru(self):
+        cache = Cache(sets=1, ways=2, line_bytes=64)
+        cache.access(0x0)
+        cache.access(0x40)
+        cache.access(0x0)         # refresh
+        cache.access(0x80)        # now evicts 0x40
+        assert cache.lookup(0x0)
+        assert not cache.lookup(0x40)
+
+    def test_lookup_does_not_fill(self):
+        cache = Cache(sets=4, ways=2)
+        assert not cache.lookup(0x1000)
+        assert not cache.access(0x1000)   # still a miss
+
+    def test_flush_line(self):
+        cache = Cache(sets=4, ways=2)
+        cache.access(0x2000)
+        cache.flush_line(0x2000)
+        assert not cache.lookup(0x2000)
+
+    def test_sets_are_independent(self):
+        cache = Cache(sets=2, ways=1, line_bytes=64)
+        cache.access(0x0)        # set 0
+        cache.access(0x40)       # set 1
+        assert cache.lookup(0x0)
+        assert cache.lookup(0x40)
+
+    def test_stats(self):
+        cache = Cache(sets=4, ways=2)
+        cache.access(0x0)
+        cache.access(0x0)
+        cache.access(0x40)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+        assert 0 < cache.stats.hit_rate < 1
+
+
+class TestHierarchy:
+    def test_latency_ordering(self):
+        params = MachineParams()
+        h = CacheHierarchy(params)
+        cold = h.data_access(0x5000)
+        warm = h.data_access(0x5000)
+        assert cold == params.mem_cycles
+        assert warm == params.l1d_hit_cycles
+
+    def test_l2_backstop(self):
+        """A line evicted from L1 but still in L2 costs the L2 latency."""
+        params = MachineParams()
+        h = CacheHierarchy(params)
+        h.data_access(0x0)
+        # blow L1 set 0 with conflicting lines (same set, many tags)
+        set_stride = params.l1d_sets * params.line_bytes
+        for i in range(1, params.l1d_ways + 1):
+            h.data_access(i * set_stride)
+        assert not h.l1d.lookup(0x0)
+        assert h.l2.lookup(0x0)
+        assert h.data_access(0x0) == params.l2_hit_cycles
+
+    def test_flush_line_clears_both_levels(self):
+        h = CacheHierarchy(MachineParams())
+        h.data_access(0x40)
+        h.flush_line(0x40)
+        assert not h.l1d.lookup(0x40)
+        assert not h.l2.lookup(0x40)
+
+
+class TestTlb:
+    def test_miss_then_hit(self):
+        params = MachineParams()
+        tlb = Tlb(params)
+        assert tlb.access(0x1234) == params.dtlb_miss_cycles
+        assert tlb.access(0x1FFF) == 0          # same page
+        assert tlb.access(0x2000) == params.dtlb_miss_cycles
+
+    def test_capacity_eviction(self):
+        params = MachineParams()
+        tlb = Tlb(params)
+        for i in range(params.dtlb_entries + 1):
+            tlb.access(i * params.page_bytes)
+        # the first page was LRU-evicted
+        assert tlb.access(0) == params.dtlb_miss_cycles
+
+    def test_shootdown_clears_everything(self):
+        tlb = Tlb(MachineParams())
+        tlb.access(0x1000)
+        tlb.shootdown()
+        assert tlb.access(0x1000) > 0
+
+
+class TestPht:
+    def test_initial_prediction_not_taken(self):
+        pht = PatternHistoryTable()
+        assert not pht.predict(0x400000)
+
+    def test_learns_taken(self):
+        pht = PatternHistoryTable()
+        pht.update(0x400000, True)
+        assert pht.predict(0x400000)
+
+    def test_hysteresis(self):
+        """2-bit counters need two updates to flip a strong state."""
+        pht = PatternHistoryTable()
+        for _ in range(4):
+            pht.update(0x10, True)        # strongly taken
+        pht.update(0x10, False)
+        assert pht.predict(0x10)          # still predicts taken
+        pht.update(0x10, False)
+        assert not pht.predict(0x10)
+
+    def test_aliasing_by_design(self):
+        pht = PatternHistoryTable(size=4)
+        pht.update(0x0, True)
+        # pc 0x10 aliases to the same counter (size 4, >>2 index)
+        assert pht.predict(0x40) == pht.predict(0x0)
+
+
+class TestBtbAndRsb:
+    def test_btb_remembers_target(self):
+        btb = BranchTargetBuffer()
+        assert btb.predict(0x100) is None
+        btb.update(0x100, 0x4000)
+        assert btb.predict(0x100) == 0x4000
+
+    def test_btb_capacity(self):
+        btb = BranchTargetBuffer(size=2)
+        btb.update(0x1, 0xA)
+        btb.update(0x2, 0xB)
+        btb.update(0x3, 0xC)      # evicts 0x1
+        assert btb.predict(0x1) is None
+        assert btb.predict(0x3) == 0xC
+
+    def test_rsb_lifo(self):
+        rsb = ReturnStackBuffer()
+        rsb.push(0x1)
+        rsb.push(0x2)
+        assert rsb.pop() == 0x2
+        assert rsb.pop() == 0x1
+        assert rsb.pop() is None
+
+    def test_rsb_depth_wraps(self):
+        rsb = ReturnStackBuffer(depth=2)
+        rsb.push(0x1)
+        rsb.push(0x2)
+        rsb.push(0x3)             # drops 0x1
+        assert rsb.pop() == 0x3
+        assert rsb.pop() == 0x2
+        assert rsb.pop() is None

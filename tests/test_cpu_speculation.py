@@ -1,0 +1,305 @@
+"""Speculative-execution semantics of the CPU model (paper §4.1).
+
+These tests pin down the properties the security evaluation rests on:
+wrong-path work is architecturally invisible, but cache state persists
+— except when HFI refuses the access before the fill.
+
+Victims use data-dependent addresses (the real Spectre gadget shape):
+training runs exercise the path with in-bounds indices, then the
+attack run flips the index out of bounds so the interesting access
+happens *only* on the mispredicted path.
+"""
+
+import pytest
+
+from repro.core import ImplicitCodeRegion, ImplicitDataRegion, SandboxFlags
+from repro.core.encoding import encode_region, encode_sandbox
+from repro.cpu import Cpu
+from repro.isa import Assembler, Imm, Mem, Reg
+from repro.os import AddressSpace, Prot
+from repro.params import MachineParams
+
+CODE = 0x40_0000
+DATA = 0x10_0000
+FAR = 0x20_0000        # mapped, outside any HFI region
+PROBE = 0x28_0000
+DESC = 0x0E_0000
+
+#: x such that DATA + x*8 == FAR
+OOB_X = (FAR - DATA) // 8
+
+
+@pytest.fixture
+def params():
+    return MachineParams()
+
+
+def fresh_cpu(params):
+    space = AddressSpace(params)
+    cpu = Cpu(params, memory=space)
+    space.mmap(1 << 16, Prot.rw(), addr=DATA)
+    space.mmap(1 << 20, Prot.rw(), addr=FAR)
+    space.mmap(1 << 16, Prot.rw(), addr=0x30_0000)  # stack
+    space.mmap(1 << 12, Prot.rw(), addr=DESC)
+    cpu.regs.write(Reg.RSP, 0x30_0000 + (1 << 16) - 64)
+    return cpu, space
+
+
+def train_flush_attack(cpu, program, oob_x=OOB_X, flush=(FAR,)):
+    for value in (0, 1, 2, 3):
+        cpu.mem.write(DATA, value, 8)
+        cpu.run(program.base, max_instructions=80)
+    for addr in flush:
+        cpu.caches.flush_line(addr)
+    cpu.mem.write(DATA, oob_x, 8)
+    cpu.run(program.base, max_instructions=80)
+
+
+def bounds_check_prologue(asm):
+    """mov rbx, [DATA]; cmp rbx, 4; jae skip"""
+    asm.mov(Reg.RBX, Mem(disp=DATA))
+    asm.cmp(Reg.RBX, Imm(4))
+    asm.jae("skip")
+
+
+class TestWrongPathInvisibility:
+    def test_wrong_path_load_squashed_but_cache_fill_persists(
+            self, params):
+        cpu, space = fresh_cpu(params)
+        asm = Assembler(base=CODE)
+        bounds_check_prologue(asm)
+        asm.mov(Reg.R8, Mem(base=Reg.RBX, scale=1, index=Reg.RBX,
+                            disp=0))  # placeholder, replaced below
+        asm.label("skip")
+        asm.hlt()
+        program = asm.assemble()
+        # r8 = [DATA + rbx*8]
+        program.instructions[3].operands = (
+            Reg.R8, Mem(index=Reg.RBX, scale=8, disp=DATA))
+        cpu.load_program(program)
+        cpu.regs.write(Reg.R8, 0xDEAD)
+        space.write(FAR, 0x1234, 8)
+        train_flush_attack(cpu, program)
+        # architectural: branch taken, load never committed
+        assert cpu.regs.read(Reg.R8) != 0x1234
+        # microarchitectural: the line was filled on the wrong path
+        assert cpu.caches.l1d.lookup(FAR)
+        assert cpu.stats.speculative_instructions > 0
+
+    def test_wrong_path_store_never_commits(self, params):
+        cpu, space = fresh_cpu(params)
+        asm = Assembler(base=CODE)
+        bounds_check_prologue(asm)
+        asm.mov(Reg.RCX, Imm(7))
+        asm.mov(Mem(index=Reg.RBX, scale=8, disp=DATA), Reg.RCX)
+        asm.label("skip")
+        asm.hlt()
+        program = asm.assemble()
+        cpu.load_program(program)
+        train_flush_attack(cpu, program)
+        # the speculative store targeted FAR; memory must be untouched
+        assert space.read(FAR) == 0
+        # while the training stores (in-bounds path) did commit
+        assert space.read(DATA + 3 * 8) == 7
+
+    def test_speculative_store_to_load_forwarding(self, params):
+        """A wrong-path load observes a wrong-path store through the
+        store buffer, and transmits it via the cache."""
+        cpu, space = fresh_cpu(params)
+        oob_x = OOB_X + 0x41            # low byte 0x41 -> slot 65
+        asm = Assembler(base=CODE)
+        bounds_check_prologue(asm)
+        asm.mov(Mem(index=Reg.RBX, scale=8, disp=DATA), Reg.RBX)
+        asm.mov(Reg.RDX, Mem(index=Reg.RBX, scale=8, disp=DATA))
+        asm.and_(Reg.RDX, Imm(0xFF))
+        asm.shl(Reg.RDX, Imm(6))
+        asm.mov(Reg.RSI, Mem(index=Reg.RDX, scale=1, disp=PROBE))
+        asm.label("skip")
+        asm.hlt()
+        program = asm.assemble()
+        cpu.load_program(program)
+        flush = [PROBE + slot * 64 for slot in range(256)]
+        train_flush_attack(cpu, program, oob_x=oob_x, flush=flush)
+        # forwarding: rdx got oob_x's low byte from the store buffer
+        assert cpu.caches.l1d.lookup(PROBE + 0x41 * 64)
+        # without forwarding it would have read 0 from memory
+        assert not cpu.caches.l1d.lookup(PROBE)
+        # and the store itself never committed
+        assert space.read(DATA + oob_x * 8, 8) == 0
+
+
+class TestSpeculationBarriers:
+    def _victim(self, barrier):
+        asm = Assembler(base=CODE)
+        bounds_check_prologue(asm)
+        if barrier == "lfence":
+            asm.lfence()
+        elif barrier == "cpuid":
+            asm.cpuid()
+        asm.mov(Reg.R8, Mem(index=Reg.RBX, scale=8, disp=DATA))
+        asm.label("skip")
+        asm.hlt()
+        return asm.assemble()
+
+    @pytest.mark.parametrize("barrier", ["lfence", "cpuid"])
+    def test_serializing_instruction_stops_wrong_path(self, params,
+                                                      barrier):
+        cpu, _ = fresh_cpu(params)
+        program = self._victim(barrier)
+        cpu.load_program(program)
+        train_flush_attack(cpu, program)
+        assert not cpu.caches.l1d.lookup(FAR)
+
+    def test_without_barrier_line_is_filled(self, params):
+        cpu, _ = fresh_cpu(params)
+        program = self._victim(None)
+        cpu.load_program(program)
+        train_flush_attack(cpu, program)
+        assert cpu.caches.l1d.lookup(FAR)
+
+    def test_speculation_window_is_bounded(self, params):
+        small = params.with_overrides(speculation_window=4)
+        cpu, _ = fresh_cpu(small)
+        asm = Assembler(base=CODE)
+        bounds_check_prologue(asm)
+        for _ in range(6):               # 6 nops > window of 4
+            asm.nop()
+        asm.mov(Reg.R8, Mem(index=Reg.RBX, scale=8, disp=DATA))
+        asm.label("skip")
+        asm.hlt()
+        program = asm.assemble()
+        cpu.load_program(program)
+        train_flush_attack(cpu, program)
+        assert not cpu.caches.l1d.lookup(FAR)
+
+
+def _stage_hybrid(space, *, serialized, extra_sandbox=None):
+    """Descriptors: code covers CODE block, data covers DATA only."""
+    code = ImplicitCodeRegion.covering(CODE, 1 << 16)
+    data = ImplicitDataRegion.covering(DATA, 1 << 16, read=True,
+                                       write=True)
+    space.write_bytes(DESC, encode_region(code))
+    space.write_bytes(DESC + 24, encode_region(data))
+    space.write_bytes(DESC + 48, encode_sandbox(SandboxFlags(
+        is_hybrid=True, is_serialized=serialized)))
+    if extra_sandbox is not None:
+        space.write_bytes(DESC + 64, encode_sandbox(extra_sandbox))
+
+
+def _enter_sequence(asm, sandbox_off=48):
+    asm.mov(Reg.RDI, Imm(DESC))
+    asm.hfi_set_region(0, Reg.RDI)
+    asm.mov(Reg.RDI, Imm(DESC + 24))
+    asm.hfi_set_region(2, Reg.RDI)
+    asm.mov(Reg.RDI, Imm(DESC + sandbox_off))
+    asm.hfi_enter(Reg.RDI)
+
+
+class TestHfiUnderSpeculation:
+    def test_hfi_blocks_speculative_oob_cache_fill(self, params):
+        cpu, space = fresh_cpu(params)
+        _stage_hybrid(space, serialized=True)
+        asm = Assembler(base=CODE)
+        _enter_sequence(asm)
+        bounds_check_prologue(asm)
+        asm.mov(Reg.R8, Mem(index=Reg.RBX, scale=8, disp=DATA))
+        asm.label("skip")
+        asm.hfi_exit()
+        asm.hlt()
+        program = asm.assemble()
+        cpu.load_program(program)
+        train_flush_attack(cpu, program)
+        assert not cpu.caches.l1d.lookup(FAR)
+        assert cpu.stats.hfi_faults == 0   # the OOB was wrong-path only
+
+    def _exit_gadget_victim(self, cpu, space, *, serialized):
+        _stage_hybrid(space, serialized=serialized)
+        asm = Assembler(base=CODE)
+        _enter_sequence(asm)
+        bounds_check_prologue(asm)
+        asm.hfi_exit()                       # speculated past if unser.
+        asm.mov(Reg.R8, Mem(index=Reg.RBX, scale=8, disp=DATA))
+        asm.label("skip")
+        asm.hfi_exit()
+        asm.hlt()
+        program = asm.assemble()
+        cpu.load_program(program)
+        return program
+
+    def test_unserialized_exit_lets_wrong_path_escape(self, params):
+        """§3.4's motivating risk: a speculative, unserialized
+        hfi_exit disables HFI on the wrong path."""
+        cpu, space = fresh_cpu(params)
+        program = self._exit_gadget_victim(cpu, space, serialized=False)
+        train_flush_attack(cpu, program)
+        assert cpu.caches.l1d.lookup(FAR)    # the attack worked
+
+    def test_serialized_exit_blocks_the_escape(self, params):
+        cpu, space = fresh_cpu(params)
+        program = self._exit_gadget_victim(cpu, space, serialized=True)
+        train_flush_attack(cpu, program)
+        assert not cpu.caches.l1d.lookup(FAR)
+
+    def test_switch_on_exit_keeps_protection_unserialized(self, params):
+        """§4.5: with switch-on-exit, a speculative hfi_exit lands in
+        the runtime's bank — still sandboxed — so the OOB faults."""
+        cpu, space = fresh_cpu(params)
+        _stage_hybrid(space, serialized=True, extra_sandbox=SandboxFlags(
+            is_hybrid=True, switch_on_exit=True))
+        asm = Assembler(base=CODE)
+        _enter_sequence(asm)                  # runtime's own sandbox
+        asm.mov(Reg.RDI, Imm(DESC + 64))
+        asm.hfi_enter(Reg.RDI)                # child: switch-on-exit
+        bounds_check_prologue(asm)
+        asm.hfi_exit()                        # switches banks, stays on
+        asm.mov(Reg.R8, Mem(index=Reg.RBX, scale=8, disp=DATA))
+        asm.label("skip")
+        asm.hfi_exit()
+        asm.hfi_exit()
+        asm.hlt()
+        program = asm.assemble()
+        cpu.load_program(program)
+        train_flush_attack(cpu, program)
+        assert not cpu.caches.l1d.lookup(FAR)
+
+
+class TestIndirectPrediction:
+    def test_btb_wrong_target_fills_cache(self, params):
+        cpu, space = fresh_cpu(params)
+        asm = Assembler(base=CODE)
+        asm.mov(Reg.R8, Mem(disp=DATA + 8))
+        asm.jmp(Reg.R8)
+        asm.label("gadget")
+        asm.mov(Reg.R9, Mem(disp=FAR))
+        asm.hlt()
+        asm.label("benign")
+        asm.hlt()
+        program = asm.assemble()
+        cpu.load_program(program)
+        space.write(DATA + 8, program.labels["gadget"], 8)
+        cpu.run(program.base, max_instructions=20)
+        cpu.run(program.base, max_instructions=20)
+        cpu.caches.flush_line(FAR)
+        space.write(DATA + 8, program.labels["benign"], 8)
+        cpu.run(program.base, max_instructions=20)
+        assert cpu.caches.l1d.lookup(FAR)    # ran speculatively only
+
+    def test_rsb_mismatch_counts_a_mispredict(self, params):
+        cpu, space = fresh_cpu(params)
+        asm = Assembler(base=CODE)
+        asm.call("fn")
+        asm.hlt()
+        asm.label("fn")
+        asm.mov(Reg.RAX, Imm(0))  # patched below
+        asm.mov(Mem(base=Reg.RSP), Reg.RAX)
+        asm.ret()
+        asm.label("elsewhere")
+        asm.hlt()
+        program = asm.assemble()
+        patched = program.labels["elsewhere"]
+        program.instructions[2].operands = (Reg.RAX, Imm(patched))
+        cpu.load_program(program)
+        result = cpu.run(program.base, max_instructions=20)
+        assert result.reason == "hlt"
+        assert cpu.regs.rip >= patched
+        assert cpu.stats.mispredicts >= 1

@@ -1,0 +1,161 @@
+"""Unit tests for descriptor encoding and the high-level Hfi facade."""
+
+import pytest
+
+from repro.core import (
+    ExplicitDataRegion,
+    FaultCause,
+    Hfi,
+    HfiFault,
+    ImplicitCodeRegion,
+    ImplicitDataRegion,
+    SandboxDescriptor,
+    SandboxFlags,
+)
+from repro.core.encoding import (
+    REGION_DESCRIPTOR_BYTES,
+    SANDBOX_DESCRIPTOR_BYTES,
+    decode_region,
+    decode_sandbox,
+    encode_region,
+    encode_sandbox,
+)
+from repro.params import MachineParams
+
+
+class TestRegionEncoding:
+    CASES = [
+        ImplicitCodeRegion(0x40_0000, 0xFFFF, permission_exec=True),
+        ImplicitCodeRegion(0x0, 0x0, permission_exec=False),
+        ImplicitDataRegion(0x10_0000, 0xFFF, permission_read=True,
+                           permission_write=False),
+        ImplicitDataRegion(0x0, (1 << 32) - 1, permission_read=True,
+                           permission_write=True),
+        ExplicitDataRegion(0x7FFF_0000, 1 << 16, permission_read=True,
+                           permission_write=True, is_large_region=True),
+        ExplicitDataRegion(0x1234, 999, permission_read=False,
+                           permission_write=True, is_large_region=False),
+    ]
+
+    @pytest.mark.parametrize("region", CASES, ids=lambda r: repr(r)[:40])
+    def test_roundtrip(self, region):
+        data = encode_region(region)
+        assert len(data) == REGION_DESCRIPTOR_BYTES
+        assert decode_region(data) == region
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(ValueError):
+            decode_region(b"\x03" + b"\x00" * 23)
+
+    def test_not_a_region(self):
+        with pytest.raises(TypeError):
+            encode_region("nope")
+
+
+class TestSandboxEncoding:
+    @pytest.mark.parametrize("flags", [
+        SandboxFlags(),
+        SandboxFlags(is_hybrid=True),
+        SandboxFlags(is_serialized=True),
+        SandboxFlags(switch_on_exit=True),
+        SandboxFlags(is_hybrid=True, is_serialized=True,
+                     switch_on_exit=True),
+    ])
+    def test_roundtrip(self, flags):
+        data = encode_sandbox(flags, exit_handler=0xCAFE_BABE)
+        assert len(data) == SANDBOX_DESCRIPTOR_BYTES
+        got_flags, handler = decode_sandbox(data)
+        assert got_flags == flags
+        assert handler == 0xCAFE_BABE
+
+
+class TestHfiFacade:
+    def _descriptor(self, hybrid=False):
+        regions = [
+            (0, ImplicitCodeRegion.covering(0x40_0000, 1 << 16)),
+            (2, ImplicitDataRegion.covering(0x10_0000, 1 << 16,
+                                            read=True, write=True)),
+            (6, ExplicitDataRegion(0x10_0000, 1 << 16,
+                                   permission_read=True,
+                                   permission_write=True)),
+        ]
+        if hybrid:
+            return SandboxDescriptor.hybrid(regions)
+        return SandboxDescriptor.native(0x7000, regions)
+
+    def test_enter_charges_cycles(self):
+        hfi = Hfi(MachineParams())
+        cost = hfi.enter(self._descriptor())
+        assert cost > 0
+        assert hfi.cycles == cost
+        assert hfi.state.enabled
+
+    def test_exit_and_reenter(self):
+        hfi = Hfi(MachineParams())
+        hfi.enter(self._descriptor())
+        outcome = hfi.exit()
+        assert outcome.redirect_to == 0x7000
+        assert not hfi.state.enabled
+        hfi.reenter()
+        assert hfi.state.enabled
+
+    def test_native_descriptor_defaults_serialized(self):
+        desc = self._descriptor()
+        assert desc.flags.is_serialized
+        assert not desc.flags.is_hybrid
+
+    def test_hybrid_descriptor(self):
+        desc = self._descriptor(hybrid=True)
+        assert desc.flags.is_hybrid
+        assert not desc.flags.is_serialized
+
+    def test_syscall_in_native_interposed(self):
+        hfi = Hfi(MachineParams())
+        hfi.enter(self._descriptor())
+        outcome = hfi.syscall(nr=2)
+        assert outcome is not None
+        assert outcome.redirect_to == 0x7000
+        assert hfi.cause_msr is FaultCause.SYSCALL
+
+    def test_syscall_in_hybrid_passes(self):
+        hfi = Hfi(MachineParams())
+        hfi.enter(self._descriptor(hybrid=True))
+        assert hfi.syscall(nr=2) is None
+
+    def test_resize_region(self):
+        hfi = Hfi(MachineParams())
+        hfi.install_regions(self._descriptor().regions)
+        hfi.resize_region(6, 4 << 16)
+        region, _ = hfi.state.get_region(6)
+        assert region.bound == 4 << 16
+
+    def test_resize_unconfigured_region_raises(self):
+        hfi = Hfi(MachineParams())
+        with pytest.raises(ValueError):
+            hfi.resize_region(7, 1 << 16)
+
+    def test_region_update_locked_in_native(self):
+        hfi = Hfi(MachineParams())
+        hfi.enter(self._descriptor())
+        with pytest.raises(HfiFault):
+            hfi.set_region(2, None)
+
+    def test_clear_all(self):
+        hfi = Hfi(MachineParams())
+        hfi.install_regions(self._descriptor().regions)
+        hfi.clear_all_regions()
+        assert hfi.state.regs.get(0) is None
+        assert hfi.state.regs.get(6) is None
+
+    def test_cycle_ledger_monotonic(self):
+        hfi = Hfi(MachineParams())
+        checkpoints = [hfi.cycles]
+        hfi.enter(self._descriptor(hybrid=True))
+        checkpoints.append(hfi.cycles)
+        hfi.set_region(6, ExplicitDataRegion(0x20_0000, 1 << 16,
+                                             permission_read=True))
+        checkpoints.append(hfi.cycles)
+        hfi.exit()
+        checkpoints.append(hfi.cycles)
+        assert checkpoints == sorted(checkpoints)
+        assert checkpoints[-1] > 0

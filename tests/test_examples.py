@@ -1,0 +1,50 @@
+"""Every shipped example must run clean — they are the quickstart
+documentation, so they get CI coverage like everything else."""
+
+import os
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "spectre_demo.py",
+    "wasm_faas.py",
+    "library_sandboxing.py",
+    "native_sandboxing.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script, capsys):
+    runpy.run_path(os.path.join(EXAMPLES_DIR, script),
+                   run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_quickstart_demonstrates_the_trap(capsys):
+    runpy.run_path(os.path.join(EXAMPLES_DIR, "quickstart.py"),
+                   run_name="__main__")
+    out = capsys.readouterr().out
+    assert "DATA_OUT_OF_BOUNDS" in out
+    assert "sandbox disabled: True" in out
+
+
+def test_spectre_demo_shows_both_outcomes(capsys):
+    runpy.run_path(os.path.join(EXAMPLES_DIR, "spectre_demo.py"),
+                   run_name="__main__")
+    out = capsys.readouterr().out
+    assert "'HFI!'" in out          # recovered without protection
+    assert "never reached the cache" in out
+
+
+def test_native_sandboxing_shows_mpk_wall(capsys):
+    runpy.run_path(os.path.join(EXAMPLES_DIR, "native_sandboxing.py"),
+                   run_name="__main__")
+    out = capsys.readouterr().out
+    assert "15 domains" in out
+    assert "1000 sandboxes" in out

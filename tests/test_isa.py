@@ -1,0 +1,110 @@
+"""Unit tests for the ISA layer: assembler, layout, encodings."""
+
+import pytest
+
+from repro.isa import (
+    Assembler,
+    AssemblerError,
+    Imm,
+    Mem,
+    Opcode,
+    Reg,
+    encoded_length,
+)
+
+
+class TestAssembler:
+    def test_layout_assigns_monotonic_addresses(self):
+        asm = Assembler(base=0x1000)
+        asm.mov(Reg.RAX, Imm(1))
+        asm.add(Reg.RAX, Imm(2))
+        asm.hlt()
+        program = asm.assemble()
+        addrs = [ins.addr for ins in program.instructions]
+        assert addrs[0] == 0x1000
+        assert addrs == sorted(addrs)
+        for a, b in zip(program.instructions, program.instructions[1:]):
+            assert b.addr == a.addr + a.length
+
+    def test_label_resolution(self):
+        asm = Assembler()
+        asm.jmp("end")
+        asm.mov(Reg.RAX, Imm(1))
+        asm.label("end")
+        asm.hlt()
+        program = asm.assemble()
+        target = program.instructions[0].operands[0]
+        assert isinstance(target, Imm)
+        assert target.value == program.labels["end"]
+
+    def test_undefined_label_raises(self):
+        asm = Assembler()
+        asm.jmp("nowhere")
+        with pytest.raises(AssemblerError):
+            asm.assemble()
+
+    def test_duplicate_label_raises(self):
+        asm = Assembler()
+        asm.label("x")
+        asm.nop()
+        asm.label("x")
+        asm.nop()
+        with pytest.raises(AssemblerError):
+            asm.assemble()
+
+    def test_trailing_label_gets_anchor(self):
+        asm = Assembler()
+        asm.jmp("end")
+        asm.label("end")
+        program = asm.assemble()
+        assert "end" in program.labels
+
+    def test_program_at_lookup(self):
+        asm = Assembler(base=0)
+        asm.nop()
+        asm.hlt()
+        program = asm.assemble()
+        assert program.at(0).opcode is Opcode.NOP
+        assert program.at(program.instructions[1].addr).opcode is Opcode.HLT
+
+    def test_program_size_counts_bytes(self):
+        asm = Assembler(base=0x100)
+        asm.mov(Reg.RAX, Imm(5))
+        asm.hlt()
+        program = asm.assemble()
+        assert program.size == sum(i.length for i in program.instructions)
+
+
+class TestEncodings:
+    def test_hmov_longer_than_mov(self):
+        """The 445.gobmk effect depends on hmov's longer encoding (§6.1)."""
+        mem = Mem(base=Reg.RBX, index=Reg.RCX, scale=1, disp=8)
+        mov_len = encoded_length(Opcode.MOV, (Reg.RAX, mem))
+        hmov_len = encoded_length(Opcode.HMOV0, (Reg.RAX, mem))
+        assert hmov_len == mov_len + 2
+
+    def test_disp_width_affects_length(self):
+        short = encoded_length(
+            Opcode.MOV, (Reg.RAX, Mem(base=Reg.RBX, disp=8)))
+        long = encoded_length(
+            Opcode.MOV, (Reg.RAX, Mem(base=Reg.RBX, disp=0x1000)))
+        assert long > short
+
+    def test_imm_width_affects_length(self):
+        small = encoded_length(Opcode.MOV, (Reg.RAX, Imm(1)))
+        big = encoded_length(Opcode.MOV, (Reg.RAX, Imm(1 << 40)))
+        assert big > small
+
+    def test_all_lengths_positive(self):
+        for opcode in Opcode:
+            assert encoded_length(opcode, ()) >= 1
+
+
+class TestOperands:
+    def test_mem_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            Mem(base=Reg.RAX, scale=3)
+
+    def test_mem_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            Mem(base=Reg.RAX, size=16)

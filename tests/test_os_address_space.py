@@ -1,0 +1,143 @@
+"""Unit tests for the virtual-memory substrate."""
+
+import pytest
+
+from repro.os import (
+    PAGE,
+    AccessKind,
+    AddressSpace,
+    OutOfAddressSpace,
+    PageFault,
+    Prot,
+)
+from repro.params import MachineParams
+
+
+@pytest.fixture
+def space():
+    return AddressSpace(MachineParams())
+
+
+class TestMmap:
+    def test_mmap_returns_page_aligned(self, space):
+        addr = space.mmap(100, Prot.rw())
+        assert addr % PAGE == 0
+
+    def test_mmap_fixed_placement(self, space):
+        addr = space.mmap(PAGE, Prot.rw(), addr=0x7000_0000)
+        assert addr == 0x7000_0000
+
+    def test_mmap_overlap_rejected(self, space):
+        space.mmap(PAGE, Prot.rw(), addr=0x7000_0000)
+        with pytest.raises(ValueError):
+            space.mmap(PAGE, Prot.rw(), addr=0x7000_0000)
+
+    def test_huge_reservation_is_cheap(self, space):
+        # Wasm's 8 GiB guard scheme must not materialize pages.
+        addr = space.mmap(8 << 30, Prot.NONE)
+        assert space.present_pages == 0
+        assert space.reserved_bytes >= 8 << 30
+        assert space.find_vma(addr + (4 << 30)) is not None
+
+    def test_va_exhaustion(self):
+        space = AddressSpace(MachineParams(), va_bits=33)  # 8 GiB VA
+        space.mmap(4 << 30, Prot.NONE)
+        with pytest.raises(OutOfAddressSpace):
+            space.mmap(8 << 30, Prot.NONE)
+
+    def test_munmap_frees_range(self, space):
+        addr = space.mmap(4 * PAGE, Prot.rw())
+        space.write(addr, 0xAB, 1)
+        space.munmap(addr, 4 * PAGE)
+        assert space.find_vma(addr) is None
+        assert space.present_pages == 0
+
+
+class TestMprotect:
+    def test_mprotect_changes_permissions(self, space):
+        addr = space.mmap(4 * PAGE, Prot.NONE)
+        with pytest.raises(PageFault):
+            space.write(addr, 1)
+        space.mprotect(addr, PAGE, Prot.rw())
+        space.write(addr, 1)
+        with pytest.raises(PageFault):
+            space.write(addr + PAGE, 1)  # rest still PROT_NONE
+
+    def test_mprotect_splits_vma(self, space):
+        addr = space.mmap(4 * PAGE, Prot.NONE, name="heap")
+        space.mprotect(addr + PAGE, PAGE, Prot.rw())
+        vmas = [v for v in space.vmas() if v.name == "heap"]
+        assert len(vmas) == 3
+
+    def test_mprotect_unmapped_raises(self, space):
+        with pytest.raises(PageFault):
+            space.mprotect(0x9999_0000, PAGE, Prot.rw())
+
+    def test_mprotect_cost_scales_with_pages(self, space):
+        addr = space.mmap(1024 * PAGE, Prot.NONE)
+        small = space.mprotect(addr, PAGE, Prot.rw())
+        large = space.mprotect(addr, 1024 * PAGE, Prot.rw())
+        assert large > small
+
+
+class TestMadvise:
+    def test_dontneed_zeroes_contents(self, space):
+        addr = space.mmap(2 * PAGE, Prot.rw())
+        space.write(addr, 0x1234_5678)
+        space.madvise_dontneed(addr, 2 * PAGE)
+        assert space.read(addr) == 0
+
+    def test_cost_proportional_to_present_pages(self, space):
+        addr = space.mmap(512 * PAGE, Prot.rw())
+        cold = space.madvise_dontneed(addr, 512 * PAGE)
+        for i in range(256):
+            space.write(addr + i * PAGE, 1, 1)
+        warm = space.madvise_dontneed(addr, 512 * PAGE)
+        assert warm > cold
+
+    def test_guard_pages_still_cost(self, space):
+        """Reserved-but-untouched ranges pay a walk cost — the reason
+        non-HFI batched teardown loses (§6.3.1)."""
+        heap = space.mmap(16 * PAGE, Prot.rw())
+        space.mmap(4096 * PAGE, Prot.NONE, addr=heap + 16 * PAGE)
+        narrow = space.madvise_dontneed(heap, 16 * PAGE)
+        wide = space.madvise_dontneed(heap, (16 + 4096) * PAGE)
+        assert wide > narrow
+
+
+class TestAccess:
+    def test_read_write_roundtrip(self, space):
+        addr = space.mmap(PAGE, Prot.rw())
+        space.write(addr + 100, 0xDEAD_BEEF_CAFE, 8)
+        assert space.read(addr + 100, 8) == 0xDEAD_BEEF_CAFE
+
+    def test_cross_page_access(self, space):
+        addr = space.mmap(2 * PAGE, Prot.rw())
+        space.write(addr + PAGE - 4, 0x1122334455667788, 8)
+        assert space.read(addr + PAGE - 4, 8) == 0x1122334455667788
+
+    def test_unmapped_read_faults(self, space):
+        with pytest.raises(PageFault) as excinfo:
+            space.read(0x5000_0000)
+        assert excinfo.value.kind is AccessKind.READ
+
+    def test_write_to_readonly_faults(self, space):
+        addr = space.mmap(PAGE, Prot.READ)
+        with pytest.raises(PageFault):
+            space.write(addr, 1)
+
+    def test_exec_check(self, space):
+        addr = space.mmap(PAGE, Prot.rw())
+        with pytest.raises(PageFault):
+            space.check_access(addr, 1, AccessKind.EXEC)
+
+    def test_straddle_into_guard_faults(self, space):
+        heap = space.mmap(PAGE, Prot.rw(), addr=0x7000_0000)
+        space.mmap(PAGE, Prot.NONE, addr=0x7000_0000 + PAGE)
+        with pytest.raises(PageFault):
+            space.write(heap + PAGE - 4, 1, 8)
+
+    def test_bytes_roundtrip(self, space):
+        addr = space.mmap(PAGE, Prot.rw())
+        space.write_bytes(addr, b"hello world")
+        assert space.read_bytes(addr, 11) == b"hello world"

@@ -1,0 +1,187 @@
+"""Unit tests for the kernel: syscalls, seccomp, signals, processes."""
+
+import pytest
+
+from repro.core import HfiState, ImplicitDataRegion
+from repro.os import (
+    EBADF,
+    ENOENT,
+    ENOSYS,
+    EPERM,
+    ContextSwitcher,
+    FileSystem,
+    Kernel,
+    Prot,
+    SeccompAction,
+    SeccompFilter,
+    SigInfo,
+    Signal,
+    Sys,
+)
+from repro.params import MachineParams
+
+
+@pytest.fixture
+def kernel():
+    k = Kernel(MachineParams(),
+               FileSystem({"a.txt": b"hello", "b.bin": b"\x00" * 100}))
+    Kernel.register_name(1, "a.txt")
+    Kernel.register_name(2, "b.bin")
+    Kernel.register_name(9, "missing")
+    return k
+
+
+@pytest.fixture
+def proc(kernel):
+    return kernel.spawn()
+
+
+class TestFileSyscalls:
+    def test_open_read_close(self, kernel, proc):
+        fd = kernel.syscall(proc, Sys.OPEN, 1).value
+        assert fd >= 3
+        got = kernel.syscall(proc, Sys.READ, fd, 5)
+        assert got.value == 5
+        assert kernel.syscall(proc, Sys.CLOSE, fd).value == 0
+
+    def test_read_past_eof_returns_zero(self, kernel, proc):
+        fd = kernel.syscall(proc, Sys.OPEN, 1).value
+        kernel.syscall(proc, Sys.READ, fd, 100)
+        assert kernel.syscall(proc, Sys.READ, fd, 100).value == 0
+
+    def test_open_missing_file(self, kernel, proc):
+        assert kernel.syscall(proc, Sys.OPEN, 9).value == ENOENT
+
+    def test_bad_fd(self, kernel, proc):
+        assert kernel.syscall(proc, Sys.READ, 99).value == EBADF
+        assert kernel.syscall(proc, Sys.CLOSE, 99).value == EBADF
+
+    def test_write_extends_file(self, kernel, proc):
+        fd = kernel.syscall(proc, Sys.OPEN, 2).value
+        assert kernel.syscall(proc, Sys.WRITE, fd, 200).value == 200
+
+    def test_unknown_syscall(self, kernel, proc):
+        assert kernel.syscall(proc, 999).value == ENOSYS
+
+    def test_every_syscall_pays_ring_transition(self, kernel, proc):
+        res = kernel.syscall(proc, Sys.GETPID)
+        assert res.cycles >= kernel.params.syscall_cycles
+        assert res.value == proc.pid
+
+
+class TestMemorySyscalls:
+    def test_mmap_mprotect_munmap(self, kernel, proc):
+        addr = kernel.syscall(proc, Sys.MMAP, 8192, int(Prot.NONE)).value
+        assert addr > 0
+        kernel.syscall(proc, Sys.MPROTECT, addr, 4096, int(Prot.rw()))
+        proc.address_space.write(addr, 42)
+        kernel.syscall(proc, Sys.MUNMAP, addr, 8192)
+        assert proc.address_space.find_vma(addr) is None
+
+    def test_madvise_cost_returned(self, kernel, proc):
+        addr = kernel.syscall(proc, Sys.MMAP, 65536, int(Prot.rw())).value
+        proc.address_space.write(addr, 1)
+        res = kernel.syscall(proc, Sys.MADVISE, addr, 65536)
+        assert res.cycles > kernel.params.syscall_cycles
+
+
+class TestSeccomp:
+    def test_errno_rule_blocks(self, kernel, proc):
+        proc.seccomp = SeccompFilter(params=kernel.params)
+        proc.seccomp.add_rule(int(Sys.OPEN), SeccompAction.ERRNO)
+        res = kernel.syscall(proc, Sys.OPEN, 1)
+        assert res.value == EPERM
+        assert res.action is SeccompAction.ERRNO
+
+    def test_notify_diverts_to_supervisor(self, kernel, proc):
+        proc.seccomp = SeccompFilter.interpose_all(
+            kernel.params, supervised=(int(Sys.OPEN),))
+        res = kernel.syscall(proc, Sys.OPEN, 1)
+        assert res.action is SeccompAction.NOTIFY
+        # the kernel did NOT service the call
+        assert proc.fd_table == {}
+
+    def test_allow_falls_through(self, kernel, proc):
+        proc.seccomp = SeccompFilter.interpose_all(kernel.params)
+        res = kernel.syscall(proc, Sys.GETPID)
+        assert res.value == proc.pid
+
+    def test_filter_cost_grows_with_rules(self):
+        params = MachineParams()
+        short = SeccompFilter.interpose_all(params, n_padding_rules=2)
+        long = SeccompFilter.interpose_all(params, n_padding_rules=40)
+        _, c_short = short.evaluate(int(Sys.GETPID))
+        _, c_long = long.evaluate(int(Sys.GETPID))
+        assert c_long > c_short
+
+    def test_first_matching_rule_wins(self):
+        filt = SeccompFilter(params=MachineParams())
+        filt.add_rule(2, SeccompAction.ERRNO)
+        filt.add_rule(2, SeccompAction.ALLOW)
+        action, _ = filt.evaluate(2)
+        assert action is SeccompAction.ERRNO
+
+
+class TestSignals:
+    def test_segv_delivery_invokes_handler(self, kernel, proc):
+        seen = []
+        proc.signals.register(Signal.SIGSEGV, seen.append)
+        cost = kernel.deliver_segv(proc, 0xBAD, hfi_cause=16,
+                                   description="oob")
+        assert cost == kernel.params.signal_delivery_cycles
+        assert seen[0].fault_addr == 0xBAD
+        assert seen[0].hfi_cause == 16
+
+    def test_unhandled_signal_recorded(self, kernel, proc):
+        kernel.deliver_segv(proc, 0x1)
+        assert len(proc.signals.delivered) == 1
+
+    def test_handler_only_for_registered_signal(self):
+        from repro.os.signals import SignalTable
+        table = SignalTable()
+        assert not table.deliver(SigInfo(Signal.SIGILL))
+
+
+class TestContextSwitch:
+    def test_registers_roundtrip(self, kernel):
+        a, b = kernel.spawn(), kernel.spawn()
+        switcher = ContextSwitcher(kernel.params)
+        from repro.isa import Reg
+        a.registers.write(Reg.RAX, 111)
+        switcher.switch(a, b)           # a saved, b restored (empty)
+        a.registers.write(Reg.RAX, 222)  # scheduler state mutates
+        switcher.switch(b, a)           # a's state comes back
+        assert a.registers.read(Reg.RAX) == 111
+
+    def test_hfi_registers_travel_with_xsave(self, kernel):
+        a, b = kernel.spawn(), kernel.spawn()
+        a.hfi_state = HfiState(kernel.params)
+        b.hfi_state = HfiState(kernel.params)
+        region = ImplicitDataRegion(0x1_0000, 0xFFFF,
+                                    permission_read=True)
+        a.hfi_state.set_region(2, region)
+        switcher = ContextSwitcher(kernel.params, save_hfi_regs=True)
+        switcher.switch(a, b)
+        a.hfi_state.set_region(2, None)   # clobbered while descheduled
+        switcher.switch(b, a)
+        assert a.hfi_state.regs.get(2) == region
+
+    def test_without_flag_hfi_regs_not_saved(self, kernel):
+        a, b = kernel.spawn(), kernel.spawn()
+        a.hfi_state = HfiState(kernel.params)
+        region = ImplicitDataRegion(0x1_0000, 0xFFFF,
+                                    permission_read=True)
+        a.hfi_state.set_region(2, region)
+        switcher = ContextSwitcher(kernel.params, save_hfi_regs=False)
+        switcher.switch(a, b)
+        a.hfi_state.set_region(2, None)
+        switcher.switch(b, a)
+        assert a.hfi_state.regs.get(2) is None   # lost, as expected
+
+    def test_switch_cost_includes_hfi_extra(self, kernel):
+        a, b = kernel.spawn(), kernel.spawn()
+        a.hfi_state = HfiState(kernel.params)
+        b.hfi_state = HfiState(kernel.params)
+        plain = ContextSwitcher(kernel.params, save_hfi_regs=False)
+        with_hfi = ContextSwitcher(kernel.params, save_hfi_regs=True)
+        assert with_hfi.switch(a, b) > plain.switch(b, a)

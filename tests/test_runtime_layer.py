@@ -1,0 +1,163 @@
+"""Unit tests for the trusted-runtime layer: transitions, the sandbox
+manager, and the FaaS queueing model."""
+
+import pytest
+
+from repro.core import FaultCause
+from repro.params import MachineParams
+from repro.runtime import (
+    FaasServer,
+    SandboxManager,
+    TransitionKind,
+    TransitionModel,
+    percentile,
+)
+
+
+@pytest.fixture
+def params():
+    return MachineParams()
+
+
+class TestTransitionModel:
+    def test_springboard_dearer_than_zero_cost(self, params):
+        model = TransitionModel(params)
+        assert (model.software_cost(TransitionKind.SPRINGBOARD)
+                > model.software_cost(TransitionKind.ZERO_COST))
+
+    def test_serialization_adds_drain(self, params):
+        model = TransitionModel(params)
+        fast = model.hfi_enter_cost(serialized=False)
+        slow = model.hfi_enter_cost(serialized=True)
+        assert slow - fast == params.serialize_drain_cycles
+
+    def test_round_trip_composition(self, params):
+        model = TransitionModel(params)
+        rt = model.round_trip(TransitionKind.ZERO_COST, serialized=True)
+        assert rt == (2 * model.software_cost(TransitionKind.ZERO_COST)
+                      + model.hfi_enter_cost(serialized=True)
+                      + model.hfi_exit_cost(serialized=True))
+
+    def test_more_regions_cost_more(self, params):
+        model = TransitionModel(params)
+        assert (model.hfi_enter_cost(serialized=False, regions_installed=6)
+                > model.hfi_enter_cost(serialized=False,
+                                       regions_installed=2))
+
+    def test_zero_cost_wasm_transition_is_call_like(self, params):
+        """The paper's headline: context switches on the order of a
+        function call (10s of cycles)."""
+        model = TransitionModel(params)
+        rt = model.round_trip(TransitionKind.ZERO_COST, serialized=False)
+        assert rt < 120
+
+
+class TestSandboxManager:
+    def test_create_and_invoke(self, params):
+        manager = SandboxManager(params)
+        handle = manager.create_sandbox(heap_bytes=1 << 20)
+        cycles = manager.invoke(handle, service_cycles=10_000)
+        assert cycles > 10_000
+        assert handle.invocations == 1
+        assert manager.hfi.cause_msr is FaultCause.EXIT_INSTRUCTION
+
+    def test_many_sandboxes_no_limit(self, params):
+        manager = SandboxManager(params)
+        for _ in range(200):
+            manager.create_sandbox(heap_bytes=1 << 16)
+        assert manager.live_sandboxes == 200
+
+    def test_grow_heap_is_register_update_cheap(self, params):
+        manager = SandboxManager(params)
+        handle = manager.create_sandbox(heap_bytes=1 << 20)
+        cost = manager.grow_heap(handle, 2 << 20)
+        assert cost < 100                      # no syscall anywhere
+        region = dict(handle.descriptor.regions)[6]
+        assert region.bound == 2 << 20
+
+    def test_destroy_returns_memory_cost(self, params):
+        manager = SandboxManager(params)
+        handle = manager.create_sandbox(heap_bytes=1 << 20)
+        manager.space.write(handle.heap_base, 7)
+        cost = manager.destroy_sandbox(handle)
+        assert cost > params.syscall_cycles
+        assert manager.live_sandboxes == 0
+
+    def test_hybrid_sandbox_descriptor(self, params):
+        manager = SandboxManager(params)
+        handle = manager.create_sandbox(heap_bytes=1 << 20, hybrid=True,
+                                        serialized=False)
+        assert handle.descriptor.flags.is_hybrid
+        assert not handle.descriptor.flags.is_serialized
+
+    def test_serialized_invocation_costs_more(self, params):
+        manager = SandboxManager(params)
+        fast = manager.create_sandbox(heap_bytes=1 << 16,
+                                      serialized=False)
+        slow = manager.create_sandbox(heap_bytes=1 << 16,
+                                      serialized=True)
+        c_fast = manager.invoke(fast, service_cycles=0)
+        c_slow = manager.invoke(slow, service_cycles=0)
+        assert c_slow >= c_fast + 2 * params.serialize_drain_cycles
+
+
+class TestFaasServer:
+    def test_latency_at_least_service_time(self, params):
+        server = FaasServer(params=params, n_workers=2)
+        metrics = server.simulate("x", service_cycles=1_000_000,
+                                  n_requests=500)
+        service_s = params.cycles_to_seconds(1_000_000)
+        assert metrics.avg_latency_s >= service_s
+        assert metrics.p99_latency_s >= metrics.avg_latency_s
+
+    def test_higher_load_longer_tail(self, params):
+        server = FaasServer(params=params, n_workers=2)
+        light = server.simulate("l", 1_000_000, n_requests=800,
+                                offered_utilization=0.3)
+        heavy = server.simulate("h", 1_000_000, n_requests=800,
+                                offered_utilization=0.9)
+        assert heavy.p99_latency_s > light.p99_latency_s
+
+    def test_slower_service_inflates_tail_disproportionately(
+            self, params):
+        """The Table 1 mechanism: at fixed offered load, a service-time
+        increase produces a super-linear tail-latency increase."""
+        server = FaasServer(params=params, n_workers=2)
+        base_cycles = 1_000_000
+        service_s = params.cycles_to_seconds(base_cycles)
+        rate = 0.7 * server.n_workers / service_s
+        base = server.simulate("base", base_cycles, n_requests=1500,
+                               arrival_rate_rps=rate)
+        slow = server.simulate("slow", int(base_cycles * 1.2),
+                               n_requests=1500, arrival_rate_rps=rate)
+        service_increase = 0.2
+        tail_increase = slow.p99_latency_s / base.p99_latency_s - 1
+        assert tail_increase > service_increase
+
+    def test_deterministic_with_seed(self, params):
+        a = FaasServer(params=params, seed=5).simulate("a", 500_000,
+                                                       n_requests=300)
+        b = FaasServer(params=params, seed=5).simulate("a", 500_000,
+                                                       n_requests=300)
+        assert a.p99_latency_s == b.p99_latency_s
+
+    def test_throughput_bounded_by_capacity(self, params):
+        server = FaasServer(params=params, n_workers=2)
+        metrics = server.simulate("x", 1_000_000, n_requests=1000,
+                                  offered_utilization=5.0)  # overload
+        capacity = 2 / params.cycles_to_seconds(1_000_000)
+        assert metrics.throughput_rps <= capacity * 1.01
+
+
+class TestPercentile:
+    def test_simple(self):
+        values = [float(i) for i in range(1, 101)]
+        assert percentile(values, 50) == 50.0
+        assert percentile(values, 99) == 99.0
+        assert percentile(values, 100) == 100.0
+
+    def test_empty(self):
+        assert percentile([], 99) == 0.0
+
+    def test_single(self):
+        assert percentile([7.0], 99) == 7.0

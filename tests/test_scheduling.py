@@ -1,0 +1,62 @@
+"""Tests for the §2 single-process-vs-multi-process scheduling model
+and the masking compatibility guard."""
+
+import pytest
+
+from repro.params import MachineParams
+from repro.runtime import MultiplexModel
+from repro.wasm import CompatibilityError, MaskingStrategy, WasmRuntime
+from repro.wasm.ir import Const, Function, Module
+
+
+@pytest.fixture
+def params():
+    return MachineParams()
+
+
+class TestMultiplexModel:
+    def test_single_process_beats_multi_process(self, params):
+        model = MultiplexModel(params)
+        assert model.advantage() > 1.0
+
+    def test_switch_cost_drives_the_gap(self, params):
+        model = MultiplexModel(params)
+        single = model.single_process(256, 100_000, slice_cycles=10_000)
+        multi = model.multi_process(256, 100_000, slice_cycles=10_000)
+        assert single.switches == multi.switches     # same schedule
+        assert multi.switch_cycles > 10 * single.switch_cycles
+
+    def test_finer_slicing_widens_the_gap(self, params):
+        model = MultiplexModel(params)
+        coarse = model.advantage(slice_cycles=100_000)
+        fine = model.advantage(slice_cycles=10_000)
+        assert fine > coarse
+
+    def test_serialized_switches_cost_more_but_stay_cheap(self, params):
+        model = MultiplexModel(params)
+        fast = model.single_process(128, 100_000)
+        safe = model.single_process(128, 100_000, serialized=True)
+        assert safe.total_cycles > fast.total_cycles
+        multi = model.multi_process(128, 100_000)
+        assert safe.total_cycles < multi.total_cycles
+
+    def test_switch_share_bounded(self, params):
+        model = MultiplexModel(params)
+        outcome = model.single_process(64, 1_000_000)
+        assert 0.0 < outcome.switch_share < 0.05
+
+
+class TestMaskingCompatibility:
+    def test_non_pow2_memory_rejected(self):
+        module = Module("np2", [Function("main", [Const("x", 1)])],
+                        memory_pages=3)     # 192 KiB: not a power of two
+        runtime = WasmRuntime()
+        with pytest.raises(CompatibilityError):
+            runtime.instantiate(module, MaskingStrategy())
+
+    def test_pow2_memory_accepted(self):
+        module = Module("p2", [Function("main", [Const("x", 1)])],
+                        memory_pages=4)
+        runtime = WasmRuntime()
+        instance = runtime.instantiate(module, MaskingStrategy())
+        assert runtime.run(instance).reason == "hlt"

@@ -1,0 +1,99 @@
+"""Tests for the startup-economics model and the disassembler."""
+
+import pytest
+
+from repro.isa import Assembler, Imm, Mem, Reg, disassemble
+from repro.params import MachineParams
+from repro.runtime import StartupModel
+from repro.wasm import GuardPagesStrategy, HfiStrategy, WasmRuntime
+from repro.workloads.sightglass import minicsv
+
+
+@pytest.fixture
+def params():
+    return MachineParams()
+
+
+class TestStartupModel:
+    def test_wasm_instance_is_tens_of_us_not_ms(self, params):
+        """§1: Wasm instances spin up in ~30 us, containers/VMs in
+        tens-to-hundreds of ms."""
+        model = StartupModel(params)
+        cold = model.wasm_instance_us(HfiStrategy())
+        assert cold < 100.0                # well under a millisecond
+        assert model.compare(HfiStrategy())["container"] > 10_000.0
+
+    def test_pooled_faster_than_cold(self, params):
+        model = StartupModel(params)
+        assert model.wasm_instance_us(HfiStrategy(), pooled=True) \
+            < model.wasm_instance_us(HfiStrategy())
+
+    def test_ordering_of_mechanisms(self, params):
+        model = StartupModel(params)
+        table = model.compare(HfiStrategy())
+        assert (table["wasm-instance-pooled"]
+                < table["wasm-instance-cold"]
+                < table["process"]
+                < table["container"]
+                <= table["microvm"])
+
+    def test_advantage_vs_container_is_orders_of_magnitude(self, params):
+        model = StartupModel(params)
+        assert model.advantage(HfiStrategy(), versus="container") > 100
+
+    def test_guard_scheme_reservation_costs_more(self, params):
+        model = StartupModel(params)
+        assert (model.wasm_instance_cycles(GuardPagesStrategy())
+                >= model.wasm_instance_cycles(HfiStrategy()))
+
+
+class TestDisassembler:
+    def _program(self):
+        asm = Assembler(base=0x1000)
+        asm.mov(Reg.RAX, Imm(5))
+        asm.label("loop")
+        asm.hmov(0, Reg.RBX, Mem(index=Reg.RAX, scale=8))
+        asm.dec(Reg.RAX)
+        asm.jne("loop")
+        asm.hlt()
+        return asm.assemble()
+
+    def test_listing_contains_labels_and_addresses(self):
+        text = disassemble(self._program())
+        assert "loop:" in text
+        assert "0x00001000" in text
+        assert "hlt" in text
+
+    def test_hmov_is_marked(self):
+        text = disassemble(self._program())
+        hmov_line = next(l for l in text.splitlines() if "hmov0" in l)
+        assert " * " in hmov_line
+
+    def test_branch_targets_symbolized(self):
+        text = disassemble(self._program())
+        jne_line = next(l for l in text.splitlines() if "jne" in l)
+        assert "<loop>" in jne_line
+
+    def test_window_selection(self):
+        program = self._program()
+        full = disassemble(program)
+        windowed = disassemble(program, start=program.labels["loop"],
+                               count=2)
+        assert len(windowed.splitlines()) < len(full.splitlines())
+
+    def test_compiled_module_disassembles(self):
+        runtime = WasmRuntime()
+        instance = runtime.instantiate(minicsv(1), HfiStrategy())
+        text = instance.compiled.disassemble()
+        assert "__entry:" in text
+        assert "hfi_enter" in text
+        assert "hmov0" in text
+
+    def test_strategy_codegen_visible_in_listing(self):
+        """The listings show exactly what each strategy adds around a
+        memory access — the code-review story."""
+        runtime = WasmRuntime()
+        from repro.wasm import BoundsCheckStrategy
+        instance = runtime.instantiate(minicsv(1), BoundsCheckStrategy())
+        text = instance.compiled.disassemble()
+        assert "lea" in text and "ja <__trap>" in text

@@ -1,0 +1,100 @@
+"""Tests for the tracer, machine presets, and springboard codegen."""
+
+import pytest
+
+from repro import skylake, tigerlake
+from repro.cpu import Cpu, Tracer
+from repro.isa import Assembler, Imm, Opcode, Reg
+from repro.os import AddressSpace, Prot
+from repro.params import MachineParams
+from repro.wasm import NativeHfiStrategy, WasmRuntime
+from repro.workloads.sightglass import fib2
+
+
+class TestTracer:
+    def _traced_run(self, tracer):
+        params = MachineParams()
+        cpu = Cpu(params, memory=AddressSpace(params))
+        cpu.tracer = tracer
+        asm = Assembler()
+        asm.mov(Reg.RAX, Imm(0))
+        asm.label("loop")
+        asm.add(Reg.RAX, Imm(1))
+        asm.cmp(Reg.RAX, Imm(10))
+        asm.jne("loop")
+        asm.hlt()
+        program = asm.assemble()
+        cpu.load_program(program)
+        cpu.run(program.base)
+        return cpu
+
+    def test_mix_counts(self):
+        tracer = Tracer()
+        self._traced_run(tracer)
+        assert tracer.mix[Opcode.ADD] == 10
+        assert tracer.mix[Opcode.HLT] == 1
+        assert tracer.total > 30
+
+    def test_entries_bounded(self):
+        tracer = Tracer(capacity=5)
+        self._traced_run(tracer)
+        assert len(tracer.entries) == 5
+        assert tracer.dropped > 0
+        assert tracer.total > 5           # mix still counts everything
+
+    def test_summary_renders(self):
+        tracer = Tracer()
+        self._traced_run(tracer)
+        text = tracer.summary()
+        assert "add" in text and "instructions:" in text
+
+    def test_transitions_counted_on_wasm_run(self):
+        runtime = WasmRuntime()
+        tracer = Tracer(record_entries=False)
+        runtime.cpu.tracer = tracer
+        from repro.wasm import HfiStrategy
+        instance = runtime.instantiate(fib2(1), HfiStrategy())
+        runtime.run(instance)
+        assert tracer.transitions() >= 2  # enter + exit
+        assert tracer.hfi_instruction_count() >= 5
+
+
+class TestPresets:
+    def test_skylake_is_4ghz(self):
+        assert skylake().frequency_ghz == 4.0
+
+    def test_tigerlake_differs(self):
+        sky, tiger = skylake(), tigerlake()
+        assert tiger.frequency_ghz < sky.frequency_ghz
+        assert tiger.speculation_window > sky.speculation_window
+
+    def test_cycles_to_seconds_scales_with_frequency(self):
+        assert skylake().cycles_to_seconds(4_000_000_000) == \
+            pytest.approx(1.0)
+        assert tigerlake().cycles_to_seconds(2_800_000_000) == \
+            pytest.approx(1.0)
+
+
+class TestSpringboard:
+    def test_springboard_clears_registers_at_entry(self):
+        runtime = WasmRuntime()
+        # leak a host value into a caller-saved register pre-entry
+        runtime.cpu.regs.write(Reg.R9, 0x5EC4E7)
+        instance = runtime.instantiate(
+            fib2(1), NativeHfiStrategy(springboard=True))
+        result = runtime.run(instance)
+        assert result.reason == "hlt"
+
+    def test_springboard_costs_instructions(self):
+        plain = WasmRuntime()
+        a = plain.instantiate(fib2(1), NativeHfiStrategy())
+        r_plain = plain.run(a)
+        boarded = WasmRuntime()
+        b = boarded.instantiate(fib2(1),
+                                NativeHfiStrategy(springboard=True))
+        r_board = boarded.run(b)
+        assert (r_board.stats.instructions
+                > r_plain.stats.instructions)
+        # same answer either way
+        assert plain.space.read(a.layout.globals_base) == \
+            boarded.space.read(b.layout.globals_base)

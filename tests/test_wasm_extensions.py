@@ -1,0 +1,194 @@
+"""Wasm-proposal extensions the paper calls out (§2, §3.3.1):
+
+* **multi-memory**: HFI gives each memory its own explicit region
+  (no per-access base loads, no extra 8 GiB reservations);
+* **Memory64**: >4 GiB heaps are impossible for the guard-page scheme
+  but natural for HFI's 2^48-byte large regions.
+"""
+
+import pytest
+
+from repro.core import FaultCause
+from repro.wasm import (
+    BoundsCheckStrategy,
+    CompatibilityError,
+    GuardPagesStrategy,
+    HfiEmulationStrategy,
+    HfiStrategy,
+    NativeUnsafeStrategy,
+    WasmRuntime,
+)
+from repro.wasm.ir import (
+    BinOp,
+    BinaryOp,
+    Const,
+    Function,
+    Load,
+    Loop,
+    Module,
+    Store,
+    StoreGlobal,
+    ValidationError,
+    validate,
+)
+
+MULTI_STRATEGIES = [GuardPagesStrategy, BoundsCheckStrategy,
+                    HfiStrategy, HfiEmulationStrategy,
+                    NativeUnsafeStrategy]
+
+
+def multi_memory_module(n_iters=30):
+    """Copies data from memory 1 into memory 2, summing through the
+    default memory."""
+    body = [
+        Const("i", 0),
+        Const("acc", 0),
+        Loop(n_iters, [
+            BinOp(BinaryOp.SHL, "a", "i", 3),
+            BinOp(BinaryOp.MUL, "v", "i", 17),
+            Store("a", "v", memory=1),
+            Load("x", "a", memory=1),
+            Store("a", "x", memory=2),
+            Load("y", "a", memory=2),
+            Store("a", "y", memory=0),
+            BinOp(BinaryOp.ADD, "acc", "acc", "y"),
+            BinOp(BinaryOp.ADD, "i", "i", 1),
+        ]),
+        StoreGlobal("result", "acc"),
+    ]
+    return Module("multi-mem", [Function("main", body)],
+                  globals=["result"], memory_pages=2,
+                  extra_memories=[2, 2])
+
+
+class TestMultiMemory:
+    @pytest.mark.parametrize("strategy_cls", MULTI_STRATEGIES,
+                             ids=lambda s: s.name)
+    def test_same_answer_everywhere(self, strategy_cls):
+        runtime = WasmRuntime()
+        instance = runtime.instantiate(multi_memory_module(),
+                                       strategy_cls())
+        result = runtime.run(instance)
+        assert result.reason == "hlt", (strategy_cls.name, result.fault)
+        got = runtime.space.read(instance.layout.globals_base)
+        assert got == sum(i * 17 for i in range(30))
+
+    def test_data_lands_in_distinct_memories(self):
+        runtime = WasmRuntime()
+        instance = runtime.instantiate(multi_memory_module(),
+                                       HfiStrategy())
+        runtime.run(instance)
+        mem1, _ = instance.layout.extra_memories[0]
+        mem2, _ = instance.layout.extra_memories[1]
+        assert runtime.space.read(mem1 + 8) == 17
+        assert runtime.space.read(mem2 + 8) == 17
+        assert runtime.space.read(instance.heap_base + 8) == 17
+
+    def test_hfi_avoids_per_access_base_loads(self):
+        """Non-HFI strategies pay instance-struct loads per extra-memory
+        access; HFI's explicit regions don't."""
+        runtime = WasmRuntime()
+        hfi = runtime.instantiate(multi_memory_module(), HfiStrategy())
+        r_hfi = runtime.run(hfi)
+        runtime2 = WasmRuntime()
+        guard = runtime2.instantiate(multi_memory_module(),
+                                     GuardPagesStrategy())
+        r_guard = runtime2.run(guard)
+        assert r_hfi.stats.loads < r_guard.stats.loads
+
+    def test_guard_scheme_footprint_grows_8gib_per_memory(self):
+        runtime = WasmRuntime()
+        runtime.instantiate(multi_memory_module(), GuardPagesStrategy())
+        assert runtime.space.reserved_bytes >= 3 * (8 << 30)
+        runtime2 = WasmRuntime()
+        runtime2.instantiate(multi_memory_module(), HfiStrategy())
+        assert runtime2.space.reserved_bytes < 1 << 30
+
+    def test_oob_in_extra_memory_traps_under_hfi(self):
+        module = Module("oob-extra", [Function("main", [
+            Const("a", 4 * 65536),      # beyond memory 1's 2 pages
+            Load("x", "a", memory=1),
+            StoreGlobal("result", "x"),
+        ])], globals=["result"], extra_memories=[2])
+        runtime = WasmRuntime()
+        instance = runtime.instantiate(module, HfiStrategy())
+        result = runtime.run(instance)
+        assert result.reason == "fault"
+        assert result.fault.hfi_cause is FaultCause.HMOV_OUT_OF_BOUNDS
+
+    def test_validation_rejects_bad_memory_index(self):
+        module = Module("bad", [Function("main", [
+            Load("x", 0, memory=3),
+        ])], extra_memories=[2])
+        with pytest.raises(ValidationError):
+            validate(module)
+
+    def test_hfi_region_budget(self):
+        """HFI has 4 explicit regions; a 5th memory needs multiplexing
+        (not modelled) and is rejected loudly."""
+        module = Module("many", [Function("main", [
+            Load("x", 0, memory=4),
+        ])], extra_memories=[1, 1, 1, 1])
+        runtime = WasmRuntime()
+        with pytest.raises(CompatibilityError):
+            runtime.instantiate(module, HfiStrategy())
+
+
+def memory64_module():
+    """Touches linear memory beyond the 4 GiB boundary."""
+    five_gib_off = (4 << 30) + (1 << 20)
+    body = [
+        Const("lo", 64),
+        Const("hi", five_gib_off),
+        Const("v", 0xC0FFEE),
+        Store("hi", "v"),
+        Store("lo", "v"),
+        Load("a", "hi"),
+        Load("b", "lo"),
+        BinOp(BinaryOp.ADD, "a", "a", "b"),
+        StoreGlobal("result", "a"),
+    ]
+    pages = ((4 << 30) + (2 << 20)) // 65536
+    return Module("memory64", [Function("main", body)],
+                  globals=["result"], memory_pages=pages)
+
+
+class TestMemory64:
+    def test_hfi_large_regions_support_64bit_heaps(self):
+        runtime = WasmRuntime()
+        instance = runtime.instantiate(memory64_module(), HfiStrategy())
+        result = runtime.run(instance)
+        assert result.reason == "hlt"
+        got = runtime.space.read(instance.layout.globals_base)
+        assert got == 2 * 0xC0FFEE
+        # sparse: a >4 GiB heap must not materialize pages
+        assert runtime.space.present_pages < 1000
+
+    def test_guard_page_scheme_cannot(self):
+        """§2: 'The approach above only supports 32-bit address spaces
+        on 64-bit architectures.'"""
+        runtime = WasmRuntime()
+        with pytest.raises(CompatibilityError):
+            runtime.instantiate(memory64_module(), GuardPagesStrategy())
+
+    def test_bounds_checks_can_but_pay(self):
+        """Old-school SFI conditionals still work for Memory64 — at
+        their usual cost (§2)."""
+        runtime = WasmRuntime()
+        instance = runtime.instantiate(memory64_module(),
+                                       BoundsCheckStrategy())
+        result = runtime.run(instance)
+        assert result.reason == "hlt"
+        got = runtime.space.read(instance.layout.globals_base)
+        assert got == 2 * 0xC0FFEE
+
+    def test_hfi_still_traps_past_the_64bit_bound(self):
+        module = memory64_module()
+        oob = module.memory_bytes + 4096
+        module.functions[0].body.insert(0, Const("oob", oob))
+        module.functions[0].body.insert(1, Load("z", "oob"))
+        runtime = WasmRuntime()
+        instance = runtime.instantiate(module, HfiStrategy())
+        result = runtime.run(instance)
+        assert result.reason == "fault"
+        assert result.fault.hfi_cause is FaultCause.HMOV_OUT_OF_BOUNDS

@@ -1,0 +1,129 @@
+"""Workload-suite integrity: every module validates, runs, and gives
+strategy-independent answers.
+
+Running all 27 suite programs under all 8 strategies would be slow in
+CI, so the full matrix lives in the benchmarks; here we validate every
+module and sample the equivalence matrix deterministically.
+"""
+
+import pytest
+
+from repro.wasm import (
+    BoundsCheckStrategy,
+    GuardPagesStrategy,
+    HfiEmulationStrategy,
+    HfiStrategy,
+    MaskingStrategy,
+    NativeHfiStrategy,
+    NativeUnsafeStrategy,
+    SwivelStrategy,
+    WasmRuntime,
+    make_strategy,
+)
+from repro.wasm.ir import validate
+from repro.workloads import (
+    APP_SCALES,
+    COMPRESSION_ROUNDS,
+    FAAS_APPS,
+    RESOLUTIONS,
+    SIGHTGLASS_BENCHMARKS,
+    SPEC_BENCHMARKS,
+    graphite_reflow,
+    jpeg_decode,
+)
+
+ALL_BUILDERS = {}
+ALL_BUILDERS.update(SIGHTGLASS_BENCHMARKS)
+ALL_BUILDERS.update(SPEC_BENCHMARKS)
+ALL_BUILDERS.update(FAAS_APPS)
+
+
+def run_native(module):
+    runtime = WasmRuntime()
+    instance = runtime.instantiate(module, NativeUnsafeStrategy())
+    result = runtime.run(instance)
+    assert result.reason == "hlt", (module.name, result.reason,
+                                    result.fault)
+    return runtime.space.read(instance.layout.globals_base)
+
+
+class TestSuiteIntegrity:
+    @pytest.mark.parametrize("name", sorted(ALL_BUILDERS), ids=str)
+    def test_module_validates_and_runs(self, name):
+        module = ALL_BUILDERS[name](1)
+        validate(module)
+        value = run_native(module)
+        # deterministic: same module, same answer
+        assert run_native(ALL_BUILDERS[name](1)) == value
+
+    @pytest.mark.parametrize("name", sorted(ALL_BUILDERS), ids=str)
+    def test_scale_changes_work_not_answer_shape(self, name):
+        small = ALL_BUILDERS[name](1)
+        big = ALL_BUILDERS[name](2)
+        validate(big)
+        assert big.memory_pages == small.memory_pages
+
+    def test_registries_match_paper(self):
+        assert len(SIGHTGLASS_BENCHMARKS) == 16
+        assert len(SPEC_BENCHMARKS) == 11
+        assert set(FAAS_APPS) == set(APP_SCALES)
+        assert len(RESOLUTIONS) == 3 and len(COMPRESSION_ROUNDS) == 3
+
+
+class TestStrategyEquivalenceSampled:
+    SAMPLE = ["sieve", "base64", "429.mcf", "445.gobmk", "xml-to-json"]
+    STRATEGIES = [GuardPagesStrategy, BoundsCheckStrategy,
+                  MaskingStrategy, HfiStrategy, HfiEmulationStrategy,
+                  SwivelStrategy, NativeUnsafeStrategy,
+                  NativeHfiStrategy]
+
+    @pytest.mark.parametrize("name", SAMPLE, ids=str)
+    def test_all_strategies_agree(self, name):
+        module = ALL_BUILDERS[name](1)
+        values = set()
+        for strategy_cls in self.STRATEGIES:
+            runtime = WasmRuntime()
+            instance = runtime.instantiate(module, strategy_cls())
+            result = runtime.run(instance)
+            assert result.reason == "hlt", (name, strategy_cls.name)
+            values.add(runtime.space.read(instance.layout.globals_base))
+        assert len(values) == 1, (name, values)
+
+
+class TestRenderingWorkloads:
+    def test_font_module(self):
+        module = graphite_reflow()
+        validate(module)
+        assert run_native(module) >= 0
+
+    @pytest.mark.parametrize("resolution", sorted(RESOLUTIONS))
+    @pytest.mark.parametrize("compression", sorted(COMPRESSION_ROUNDS))
+    def test_image_grid_builds(self, resolution, compression):
+        module = jpeg_decode(resolution, compression)
+        validate(module)
+        assert run_native(module) > 0
+
+    def test_more_compression_means_more_work(self):
+        def cycles(compression):
+            runtime = WasmRuntime()
+            instance = runtime.instantiate(
+                jpeg_decode("480p", compression), NativeUnsafeStrategy())
+            return runtime.run(instance).stats.cycles
+        assert cycles("best") > cycles("default") > cycles("none")
+
+
+class TestStrategyRegistry:
+    def test_make_strategy_by_name(self):
+        for name in ("guard-pages", "hfi", "swivel", "bounds-check"):
+            assert make_strategy(name).name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_strategy("mystery")
+
+    def test_spectre_safety_flags(self):
+        assert make_strategy("hfi").spectre_safe
+        assert make_strategy("swivel").spectre_safe
+        assert make_strategy("native-hfi").spectre_safe
+        assert not make_strategy("guard-pages").spectre_safe
+        assert not make_strategy("bounds-check").spectre_safe
