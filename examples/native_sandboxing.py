@@ -15,7 +15,8 @@ Run:  python examples/native_sandboxing.py
 from repro.mpk import MpkDomainManager, MpkError, USABLE_KEYS
 from repro.os import AddressSpace, FileSystem, Kernel, SeccompFilter, Sys
 from repro.params import MachineParams
-from repro.runtime import SandboxManager
+from repro.runtime import SandboxManager, TransitionKind
+from repro.telemetry import Telemetry
 from repro.workloads import FILE_SIZES, NginxModel
 
 
@@ -80,8 +81,33 @@ def scaling_wall(params):
           "process (on-chip state stays constant; nothing ran out)")
 
 
+def invoke_with_telemetry(params):
+    print("\n=== typed invocations + per-sandbox telemetry ===")
+    telemetry = Telemetry()
+    manager = SandboxManager(params, telemetry=telemetry)
+    ssl = manager.create_sandbox(heap_bytes=1 << 20)
+    zlib = manager.create_sandbox(heap_bytes=1 << 18)
+    result = manager.invoke(ssl, service_cycles=50_000,
+                            transition=TransitionKind.SPRINGBOARD)
+    # invoke() returns a typed InvokeResult; the field names match
+    # cpu.machine.RunResult so analysis code can consume either.
+    print(f"  invocation of sandbox {result.sandbox_id}: "
+          f"{result.cycles:,} cycles "
+          f"(enter {result.enter_cycles}, exit {result.exit_cycles}, "
+          f"springboards {result.software_cycles}, "
+          f"service {result.service_cycles:,})")
+    manager.invoke(zlib, service_cycles=8_000)
+    attribution = telemetry.attribution()
+    total = sum(attribution.values())
+    assert total == manager.total_cycles
+    for sandbox_id, cycles in sorted(attribution.items()):
+        print(f"  sandbox {sandbox_id}: {cycles:,} cycles "
+              f"({100 * cycles / total:.1f}% of the runtime's total)")
+
+
 if __name__ == "__main__":
     machine = MachineParams()
     syscall_interposition(machine)
     domain_switching(machine)
     scaling_wall(machine)
+    invoke_with_telemetry(machine)

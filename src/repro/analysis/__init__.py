@@ -1,11 +1,13 @@
 """Statistics and reporting for the benchmark harness."""
 
 from .mix import MixProfile, compare, profile
-from .report import emit, format_series, format_table, results_dir
+from .report import (emit, emit_json, format_series, format_table,
+                     format_telemetry, results_dir)
 from .stats import geomean, mean, median, normalize, pct_change, speedup_pct
 
 __all__ = [
     "geomean", "mean", "median", "normalize", "pct_change", "speedup_pct",
-    "emit", "format_series", "format_table", "results_dir",
+    "emit", "emit_json", "format_series", "format_table",
+    "format_telemetry", "results_dir",
     "MixProfile", "profile", "compare",
 ]

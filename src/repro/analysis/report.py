@@ -8,6 +8,7 @@ readable form, and the same text is appended to
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Dict, List, Optional, Sequence
 
@@ -52,3 +53,61 @@ def emit(experiment: str, text: str) -> None:
     path = os.path.join(results_dir(), f"{experiment}.txt")
     with open(path, "w") as fh:
         fh.write(text + "\n")
+
+
+def emit_json(experiment: str, payload: Dict) -> str:
+    """Persist a machine-readable result next to the text one."""
+    path = os.path.join(results_dir(), f"{experiment}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def format_telemetry(telemetry, *, top_counters: int = 20) -> str:
+    """Render a :class:`repro.telemetry.Telemetry` sink as tables.
+
+    Three sections: per-sandbox cycle attribution (with the trusted
+    runtime as its own row), event counters, and cycle accumulators.
+    """
+    snap = telemetry.snapshot()
+    sections = []
+
+    attribution = telemetry.attribution()
+    if attribution:
+        total = sum(attribution.values())
+        rows = []
+        for key in sorted(attribution, key=lambda k: (k is None, k)):
+            label = "runtime" if key is None else f"sandbox {key}"
+            cycles = attribution[key]
+            rows.append((label, f"{cycles:,}",
+                         f"{100 * cycles / total:.1f}%" if total else "-"))
+        rows.append(("total", f"{total:,}", "100.0%" if total else "-"))
+        sections.append(format_table(
+            ["owner", "cycles", "share"], rows,
+            title="per-sandbox cycle attribution"))
+
+    counters = snap["counters"]
+    if counters:
+        ordered = sorted(counters.items(),
+                         key=lambda kv: (-kv[1], kv[0]))[:top_counters]
+        sections.append(format_table(
+            ["counter", "count"],
+            [(n, f"{v:,}") for n, v in ordered],
+            title="event counters"))
+
+    cycles = snap["cycles"]
+    named = {n: a for n, a in cycles.items() if n != "sandbox.cycles"}
+    if named:
+        sections.append(format_table(
+            ["accumulator", "cycles"],
+            [(n, f"{a['total']:,}") for n, a in sorted(named.items())],
+            title="cycle accumulators"))
+
+    spans = snap["spans"]
+    if spans:
+        sections.append(
+            f"spans recorded: {len(spans)}"
+            + (f" (+{snap['spans_dropped']} dropped)"
+               if snap["spans_dropped"] else ""))
+    return "\n\n".join(sections) if sections else "(no telemetry recorded)"

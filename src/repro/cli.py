@@ -16,12 +16,21 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from .analysis import format_table
+from .analysis import format_table, format_telemetry
 from .params import MachineParams
 from .wasm import STRATEGIES, WasmRuntime, make_strategy
+
+
+def _emit(args, payload: dict, text: str) -> None:
+    """Print machine-readable JSON with ``--json``, tables otherwise."""
+    if getattr(args, "json", False):
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(text)
 
 
 def _all_workloads():
@@ -61,25 +70,41 @@ def cmd_run(args) -> int:
     result, value, instance = _run_one(args.workload, args.strategy,
                                        args.scale)
     stats = result.stats
-    print(f"workload:     {args.workload} (scale {args.scale})")
-    print(f"strategy:     {args.strategy}")
-    print(f"stopped:      {result.reason}")
+    payload = {
+        "workload": args.workload, "scale": args.scale,
+        "strategy": args.strategy, "reason": result.reason,
+        "result": value, "cycles": stats.cycles,
+        "instructions": stats.instructions, "loads": stats.loads,
+        "stores": stats.stores, "branches": stats.branches,
+        "mispredicts": stats.mispredicts,
+        "binary_size": instance.compiled.binary_size,
+        "fault": ({"kind": result.fault.kind,
+                   "cause": result.fault.hfi_cause.name,
+                   "addr": result.fault.addr}
+                  if result.fault is not None else None),
+    }
+    lines = [f"workload:     {args.workload} (scale {args.scale})",
+             f"strategy:     {args.strategy}",
+             f"stopped:      {result.reason}"]
     if result.fault is not None:
-        print(f"fault:        {result.fault.kind} "
-              f"{result.fault.hfi_cause.name} at {result.fault.addr:#x}")
-    print(f"result:       {value:#x}")
-    print(f"cycles:       {stats.cycles:,}")
-    print(f"instructions: {stats.instructions:,}")
-    print(f"loads/stores: {stats.loads:,}/{stats.stores:,}")
-    print(f"branches:     {stats.branches:,} "
-          f"({stats.mispredicts:,} mispredicted)")
-    print(f"binary size:  {instance.compiled.binary_size:,} B")
+        lines.append(f"fault:        {result.fault.kind} "
+                     f"{result.fault.hfi_cause.name} "
+                     f"at {result.fault.addr:#x}")
+    lines += [f"result:       {value:#x}",
+              f"cycles:       {stats.cycles:,}",
+              f"instructions: {stats.instructions:,}",
+              f"loads/stores: {stats.loads:,}/{stats.stores:,}",
+              f"branches:     {stats.branches:,} "
+              f"({stats.mispredicts:,} mispredicted)",
+              f"binary size:  {instance.compiled.binary_size:,} B"]
+    _emit(args, payload, "\n".join(lines))
     return 0 if result.reason == "hlt" else 1
 
 
 def cmd_compare(args) -> int:
     names = args.strategies.split(",")
     rows = []
+    entries = []
     baseline = None
     values = set()
     for strategy_name in names:
@@ -89,16 +114,23 @@ def cmd_compare(args) -> int:
         cycles = result.stats.cycles
         if baseline is None:
             baseline = cycles
+        entries.append({"strategy": strategy_name, "cycles": cycles,
+                        "relative": cycles / baseline,
+                        "binary_size": instance.compiled.binary_size})
         rows.append((strategy_name, f"{cycles:,}",
                      f"{100 * cycles / baseline:.1f}%",
                      f"{instance.compiled.binary_size:,}"))
-    print(format_table(
+    agreed = len(values) == 1
+    payload = {"workload": args.workload, "scale": args.scale,
+               "baseline": names[0], "strategies": entries,
+               "agreed": agreed}
+    text = format_table(
         ["strategy", "cycles", f"vs {names[0]}", "binary B"], rows,
-        title=f"{args.workload} (scale {args.scale})"))
-    if len(values) != 1:
-        print("WARNING: strategies disagreed on the result!")
-        return 1
-    return 0
+        title=f"{args.workload} (scale {args.scale})")
+    if not agreed:
+        text += "\nWARNING: strategies disagreed on the result!"
+    _emit(args, payload, text)
+    return 0 if agreed else 1
 
 
 def cmd_attack(args) -> int:
@@ -124,12 +156,18 @@ def cmd_nginx(args) -> int:
     from .workloads import FILE_SIZES, NginxModel
     model = NginxModel(MachineParams())
     rows = []
+    entries = []
     for size in FILE_SIZES:
+        entries.append({
+            "file_bytes": size,
+            "unprotected_rps": model.throughput_rps(size, "unprotected"),
+            "hfi_overhead_pct": model.overhead_pct(size, "hfi"),
+            "mpk_overhead_pct": model.overhead_pct(size, "mpk")})
         rows.append((f"{size >> 10}kb",
                      f"{model.throughput_rps(size, 'unprotected'):,.0f}",
                      f"{model.overhead_pct(size, 'hfi'):.2f}%",
                      f"{model.overhead_pct(size, 'mpk'):.2f}%"))
-    print(format_table(
+    _emit(args, {"experiment": "nginx", "rows": entries}, format_table(
         ["file size", "unprotected rps", "HFI overhead", "MPK overhead"],
         rows, title="NGINX + sandboxed OpenSSL (Fig. 5)"))
     return 0
@@ -154,7 +192,11 @@ def cmd_heap_growth(args) -> int:
             size += WASM_PAGE
         rows.append((label, f"{total:,}",
                      f"{params.cycles_to_seconds(total):.3f}"))
-    print(format_table(["mechanism", "cycles", "modelled seconds"], rows,
+    payload = {"experiment": "heap-growth", "gib": args.gib,
+               "rows": [{"mechanism": label, "cycles": int(c.replace(",", "")),
+                         "seconds": float(s)} for label, c, s in rows]}
+    _emit(args, payload,
+          format_table(["mechanism", "cycles", "modelled seconds"], rows,
                        title=f"heap growth to {args.gib} GiB (§6.1)"))
     return 0
 
@@ -163,16 +205,23 @@ def cmd_chain(args) -> int:
     from .runtime import ChainModel
     model = ChainModel(MachineParams())
     rows = []
+    entries = []
     for mechanism in ("in-process", "in-process-serialized", "ipc"):
         cycles = model.chain_cycles(args.functions, mechanism=mechanism,
                                     payload_bytes=args.payload)
+        entries.append({"mechanism": mechanism, "cycles": cycles,
+                        "us": MachineParams().cycles_to_us(cycles)})
         rows.append((mechanism, f"{cycles:,}",
                      f"{MachineParams().cycles_to_us(cycles):.2f}"))
-    print(format_table(["mechanism", "cycles", "us"], rows,
-                       title=(f"{args.functions}-function chain, "
-                              f"{args.payload}B payload (§2)")))
-    print(f"\nin-process advantage over IPC: "
-          f"{model.speedup(args.functions, args.payload):,.0f}x")
+    speedup = model.speedup(args.functions, args.payload)
+    payload = {"experiment": "chain", "functions": args.functions,
+               "payload_bytes": args.payload, "rows": entries,
+               "speedup_vs_ipc": speedup}
+    text = (format_table(["mechanism", "cycles", "us"], rows,
+                         title=(f"{args.functions}-function chain, "
+                                f"{args.payload}B payload (§2)"))
+            + f"\n\nin-process advantage over IPC: {speedup:,.0f}x")
+    _emit(args, payload, text)
     return 0
 
 
@@ -180,31 +229,90 @@ def cmd_startup(args) -> int:
     from .runtime import StartupModel
     from .wasm import GuardPagesStrategy, HfiStrategy
     model = StartupModel(MachineParams())
-    rows = [(k, f"{v:,.1f}")
-            for k, v in model.compare(HfiStrategy()).items()]
-    print(format_table(["mechanism", "startup (us)"], rows,
+    comparison = model.compare(HfiStrategy())
+    rows = [(k, f"{v:,.1f}") for k, v in comparison.items()]
+    _emit(args,
+          {"experiment": "startup",
+           "startup_us": {k: v for k, v in comparison.items()}},
+          format_table(["mechanism", "startup (us)"], rows,
                        title="context start-up latency (§1)"))
     return 0
+
+
+def cmd_telemetry(args) -> int:
+    """Run a short multi-sandbox demo with a live telemetry sink and
+    report per-sandbox attribution, counters, and spans."""
+    from .runtime import InstancePool, SandboxManager, TransitionKind
+    from .telemetry import Telemetry, write_json
+    from .wasm import HfiStrategy
+
+    if args.sandboxes < 1:
+        raise SystemExit("--sandboxes must be >= 1")
+    if args.invocations < 0:
+        raise SystemExit("--invocations must be >= 0")
+    telemetry = Telemetry()
+    manager = SandboxManager(MachineParams(), telemetry=telemetry)
+    handles = []
+    for i in range(args.sandboxes):
+        handles.append(manager.create_sandbox(
+            heap_bytes=1 << 20, hybrid=(i % 2 == 1),
+            serialized=(i % 2 == 0)))
+    pool = InstancePool(manager.space, HfiStrategy(),
+                        slots=max(2, args.sandboxes // 2),
+                        heap_bytes=1 << 20, params=manager.params,
+                        telemetry=telemetry)
+    for n in range(args.invocations):
+        handle = handles[n % len(handles)]
+        kind = (TransitionKind.ZERO_COST if handle.is_hybrid
+                else TransitionKind.SPRINGBOARD)
+        # Vary service time per sandbox so the attribution table has
+        # visible structure.
+        service = 2_000 + 1_000 * (handle.sandbox_id % 3)
+        manager.invoke_pooled(handle, pool, service, kind)
+    manager.grow_heap(handles[0], 1 << 21)
+
+    attribution = telemetry.attribution()
+    total_attributed = sum(attribution.values())
+    payload = {
+        "sandboxes": args.sandboxes,
+        "invocations": args.invocations,
+        "total_cycles": manager.total_cycles,
+        "attributed_cycles": total_attributed,
+        "attribution": {str(k) if k is not None else "runtime": v
+                        for k, v in attribution.items()},
+        "manager": manager.stats().as_dict(),
+        "telemetry": telemetry.snapshot(),
+    }
+    if args.out:
+        write_json(telemetry, args.out)
+    _emit(args, payload, format_telemetry(telemetry))
+    # The attribution ledger must account for every manager cycle.
+    return 0 if total_attributed == manager.total_cycles else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-hfi",
         description="HFI (ASPLOS '23) reproduction toolkit")
+    # Shared by every subcommand that renders results.
+    output = argparse.ArgumentParser(add_help=False)
+    output.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of tables")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list-workloads",
                    help="list workloads and strategies").set_defaults(
         func=cmd_list_workloads)
 
-    p = sub.add_parser("run", help="run one workload under one strategy")
+    p = sub.add_parser("run", parents=[output],
+                       help="run one workload under one strategy")
     p.add_argument("workload")
     p.add_argument("--strategy", default="hfi",
                    choices=sorted(STRATEGIES))
     p.add_argument("--scale", type=int, default=1)
     p.set_defaults(func=cmd_run)
 
-    p = sub.add_parser("compare",
+    p = sub.add_parser("compare", parents=[output],
                        help="run one workload under several strategies")
     p.add_argument("workload")
     p.add_argument("--strategies",
@@ -219,21 +327,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--secret", default="I")
     p.set_defaults(func=cmd_attack)
 
-    sub.add_parser("nginx", help="Fig. 5 throughput model").set_defaults(
+    sub.add_parser("nginx", parents=[output],
+                   help="Fig. 5 throughput model").set_defaults(
         func=cmd_nginx)
 
-    p = sub.add_parser("heap-growth", help="§6.1 growth comparison")
+    p = sub.add_parser("heap-growth", parents=[output],
+                       help="§6.1 growth comparison")
     p.add_argument("--gib", type=int, default=1)
     p.set_defaults(func=cmd_heap_growth)
 
-    p = sub.add_parser("chain", help="§2 function chaining vs IPC")
+    p = sub.add_parser("chain", parents=[output],
+                       help="§2 function chaining vs IPC")
     p.add_argument("--functions", type=int, default=4)
     p.add_argument("--payload", type=int, default=4096)
     p.set_defaults(func=cmd_chain)
 
-    sub.add_parser("startup",
+    sub.add_parser("startup", parents=[output],
                    help="§1 start-up latency table").set_defaults(
         func=cmd_startup)
+
+    p = sub.add_parser(
+        "telemetry", parents=[output],
+        help="multi-sandbox demo through a live telemetry sink")
+    p.add_argument("--sandboxes", type=int, default=4)
+    p.add_argument("--invocations", type=int, default=32)
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="also write the full telemetry snapshot as JSON")
+    p.set_defaults(func=cmd_telemetry)
     return parser
 
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..params import DEFAULT_PARAMS, MachineParams
+from ..telemetry.sink import Telemetry, coalesce
 from .faults import ExitInfo, FaultCause
 from .regions import Region
 from .registers import SandboxFlags
@@ -60,10 +61,17 @@ class Hfi:
     directly instead, so both paths share one semantics.
     """
 
-    def __init__(self, params: MachineParams = DEFAULT_PARAMS):
+    def __init__(self, params: MachineParams = DEFAULT_PARAMS,
+                 telemetry: Optional[Telemetry] = None):
         self.params = params
         self.state = HfiState(params)
         self.cycles = 0
+        #: Telemetry sink; the facade (not HfiState) reports into it
+        #: because facade calls are always architectural, never
+        #: wrong-path (see core/state.py).
+        self.telemetry = coalesce(telemetry)
+        if self.telemetry.enabled:
+            self.telemetry.register_component("hfi", self.state.stats)
 
     # ------------------------------------------------------------------
     def install_regions(self, regions) -> int:
@@ -78,6 +86,9 @@ class Hfi:
             cost += self.state.set_region(number, region)
             cost += _DESCRIPTOR_WORDS * load
         self.cycles += cost
+        if self.telemetry.enabled and regions:
+            self.telemetry.count("hfi.region_install", len(regions))
+            self.telemetry.add_cycles("hfi.region_install", cost)
         return cost
 
     def enter(self, descriptor: SandboxDescriptor) -> int:
@@ -85,11 +96,23 @@ class Hfi:
         cost = self.install_regions(descriptor.regions)
         cost += self._charge(self.state.enter(descriptor.flags,
                                               descriptor.exit_handler))
+        if self.telemetry.enabled:
+            self.telemetry.count("hfi.enter")
+            self.telemetry.add_cycles("hfi.transition", cost)
+            self.telemetry.begin_span(
+                "hfi.sandbox", self.cycles,
+                serialized=descriptor.flags.is_serialized,
+                hybrid=descriptor.flags.is_hybrid)
         return cost
 
     def exit(self) -> ExitOutcome:
         outcome = self.state.exit()
         self.cycles += outcome.cycles
+        if self.telemetry.enabled:
+            self.telemetry.count("hfi.exit")
+            self.telemetry.add_cycles("hfi.transition", outcome.cycles)
+            self.telemetry.end_span(self.cycles, name="hfi.sandbox",
+                                    cause=outcome.cause.name)
         return outcome
 
     def reenter(self) -> int:

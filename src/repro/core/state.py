@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from ..telemetry.stats import HfiDeviceStats
 from ..params import DEFAULT_PARAMS, MachineParams
 from .checks import (
     hmov_effective_address,
@@ -53,6 +54,16 @@ class HfiState:
         self._reenter_bank: Optional[HfiRegisterFile] = None
         #: Count of pipeline serializations performed (observability).
         self.serializations = 0
+        #: Lifecycle counters sampled by :meth:`stats`.  These live on
+        #: the state object itself (not a telemetry sink) deliberately:
+        #: the CPU snapshots/restores HfiState around speculation
+        #: windows, so counters here are squashed with the wrong path,
+        #: while a shared sink would leak wrong-path events.  Sink
+        #: hooks therefore live one layer up, in the commit-path
+        #: callers (cpu.machine, core.interface).
+        self.enters = 0
+        self.exits = 0
+        self.region_installs = 0
 
     # ------------------------------------------------------------------
     # introspection
@@ -73,6 +84,14 @@ class HfiState:
         """The exit handler / signal handler reads this to learn why it
         was invoked (§3.3.2)."""
         return self.regs.cause_msr
+
+    def stats(self) -> HfiDeviceStats:
+        """Uniform component-stats snapshot (``repro.telemetry``)."""
+        return HfiDeviceStats(
+            component="hfi", enabled=self.regs.enabled,
+            is_hybrid=self.regs.flags.is_hybrid,
+            serializations=self.serializations, enters=self.enters,
+            exits=self.exits, region_installs=self.region_installs)
 
     def snapshot(self) -> HfiRegisterFile:
         """For xsave with the save-hfi-regs flag (§3.3.3)."""
@@ -98,6 +117,7 @@ class HfiState:
         if self.regs.locked:
             raise HfiFault(FaultCause.REGION_LOCKED)
         self.regs.set(number, region)
+        self.region_installs += 1
         cost = self.params.hfi_set_region_cycles
         if self.regs.enabled and not self.params.hfi_region_rename:
             # hybrid sandbox: serialize so in-flight operations see a
@@ -145,6 +165,7 @@ class HfiState:
         drain (§3.4).
         """
         cost = self.params.hfi_enter_cycles
+        self.enters += 1
         if flags.switch_on_exit:
             self._shadow = self.regs.snapshot()
         if flags.is_serialized:
@@ -192,6 +213,7 @@ class HfiState:
 
     def _leave(self, cause: FaultCause) -> ExitOutcome:
         flags = self.regs.flags
+        self.exits += 1
         self.regs.cause_msr = cause
         self._reenter_bank = self.regs.snapshot()
         cost = self.params.hfi_exit_cycles
@@ -213,11 +235,19 @@ class HfiState:
         return ExitOutcome(cause, redirect_to=redirect, cycles=cost)
 
     def reenter(self) -> int:
-        """hfi_reenter: resume the sandbox that was just exited."""
+        """hfi_reenter: resume the sandbox that was just exited.
+
+        Like ``hfi_set_region``, the instruction is locked inside a
+        native sandbox: restoring the last-exited bank would rewrite
+        the (frozen) region registers from inside untrusted code.
+        """
+        if self.regs.locked:
+            raise HfiFault(FaultCause.REGION_LOCKED)
         if self._reenter_bank is None:
             raise HfiFault(FaultCause.BAD_REENTER)
         bank = self._reenter_bank
         flags = bank.flags
+        self.enters += 1
         cost = self.params.hfi_enter_cycles
         if flags.is_serialized:
             cost += self.params.serialize_drain_cycles

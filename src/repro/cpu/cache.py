@@ -10,41 +10,47 @@ Two properties carry the security story (paper §4.1):
 
 The simulator enforces the second property simply by never calling
 :meth:`Cache.access` for a faulting access.
+
+Statistics follow the uniform component-stats API: ``cache.stats()``
+returns a :class:`repro.telemetry.CacheStats` snapshot; the legacy
+``cache.stats.hits`` attribute path still reads through (deprecated).
+Counters stay plain ints on the hot path — the telemetry layer samples
+them at snapshot time instead of intercepting every access.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from ..params import DEFAULT_PARAMS, MachineParams
-
-
-@dataclass
-class CacheStats:
-    hits: int = 0
-    misses: int = 0
-
-    @property
-    def accesses(self) -> int:
-        return self.hits + self.misses
-
-    @property
-    def hit_rate(self) -> float:
-        return self.hits / self.accesses if self.accesses else 0.0
+from ..telemetry.stats import CacheStats, StatsAccessor
 
 
 class Cache:
     """One level of set-associative cache, LRU within each set."""
 
-    def __init__(self, sets: int, ways: int, line_bytes: int = 64):
+    def __init__(self, sets: int, ways: int, line_bytes: int = 64,
+                 name: str = "cache"):
+        self.name = name
         self.n_sets = sets
         self.ways = ways
         self.line_bytes = line_bytes
         # Each set is an insertion-ordered dict of tag -> True; the
         # first key is the LRU victim.
         self._sets: List[Dict[int, bool]] = [dict() for _ in range(sets)]
-        self.stats = CacheStats()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------
+    # uniform stats API (legacy `cache.stats.hits` reads through)
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> CacheStats:
+        return CacheStats(component=self.name, hits=self._hits,
+                          misses=self._misses)
+
+    @property
+    def stats(self) -> StatsAccessor:
+        return StatsAccessor(self._snapshot)
 
     def _locate(self, addr: int) -> Tuple[int, int]:
         line = addr // self.line_bytes
@@ -63,13 +69,13 @@ class Cache:
             # refresh LRU position
             del ways[tag]
             ways[tag] = True
-            self.stats.hits += 1
+            self._hits += 1
             return True
         if len(ways) >= self.ways:
             victim = next(iter(ways))
             del ways[victim]
         ways[tag] = True
-        self.stats.misses += 1
+        self._misses += 1
         return False
 
     def flush_line(self, addr: int) -> None:
@@ -91,10 +97,16 @@ class CacheHierarchy:
 
     def __init__(self, params: MachineParams = DEFAULT_PARAMS):
         self.params = params
-        self.l1d = Cache(params.l1d_sets, params.l1d_ways, params.line_bytes)
-        self.l1i = Cache(params.l1i_sets, params.l1i_ways, params.line_bytes)
+        self.l1d = Cache(params.l1d_sets, params.l1d_ways,
+                         params.line_bytes, name="l1d")
+        self.l1i = Cache(params.l1i_sets, params.l1i_ways,
+                         params.line_bytes, name="l1i")
         self.l2 = Cache(params.l1d_sets * 16, params.l1d_ways,
-                        params.line_bytes)
+                        params.line_bytes, name="l2")
+
+    def stats(self) -> List[CacheStats]:
+        """Snapshots for every level, in probe order."""
+        return [self.l1d.stats(), self.l1i.stats(), self.l2.stats()]
 
     def data_access(self, addr: int) -> int:
         """Load/store timing: L1 hit, L2 hit, or memory."""

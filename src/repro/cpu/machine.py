@@ -41,6 +41,7 @@ from ..os.address_space import AccessKind, AddressSpace, PageFault
 from ..os.kernel import Kernel
 from ..os.process import Process
 from ..params import DEFAULT_PARAMS, MachineParams
+from ..telemetry.sink import Telemetry, coalesce
 from .cache import CacheHierarchy
 from .predictors import BranchTargetBuffer, PatternHistoryTable, ReturnStackBuffer
 from .tlb import Tlb
@@ -97,7 +98,8 @@ class Cpu:
     def __init__(self, params: MachineParams = DEFAULT_PARAMS,
                  memory: Optional[AddressSpace] = None,
                  process: Optional[Process] = None,
-                 kernel: Optional[Kernel] = None):
+                 kernel: Optional[Kernel] = None,
+                 telemetry: Optional[Telemetry] = None):
         self.params = params
         if process is not None:
             self.mem = process.address_space
@@ -128,6 +130,26 @@ class Cpu:
         self.tracer = None
         #: MPK enforcement happens only when a process is attached.
         self.enforce_pkeys = process is not None
+        #: Telemetry sink (defaults to the shared no-op null sink).
+        self.telemetry = coalesce(None)
+        self.attach_telemetry(telemetry)
+
+    def attach_telemetry(self, telemetry: Optional[Telemetry]) -> None:
+        """Point this core at a sink and register its component stats.
+
+        Telemetry only *reads* simulator state — cycle accounting is
+        identical whether the sink is real or the default null sink.
+        """
+        self.telemetry = coalesce(telemetry)
+        if self.telemetry.enabled:
+            for name, fn in (("l1d", self.caches.l1d._snapshot),
+                             ("l1i", self.caches.l1i._snapshot),
+                             ("l2", self.caches.l2._snapshot),
+                             ("dtlb", self.tlb.stats),
+                             ("pht", self.pht.stats),
+                             ("btb", self.btb.stats),
+                             ("rsb", self.rsb.stats)):
+                self.telemetry.register_component(name, fn)
 
     # ------------------------------------------------------------------
     # program loading
@@ -141,6 +163,14 @@ class Cpu:
     # top-level run loop
     # ------------------------------------------------------------------
     def run(self, entry: int, max_instructions: int = 5_000_000) -> RunResult:
+        self.telemetry.begin_span("cpu.run", self.stats.cycles, entry=entry)
+        result = self._run(entry, max_instructions)
+        self.telemetry.end_span(self.stats.cycles, name="cpu.run",
+                                reason=result.reason,
+                                instructions=self.stats.instructions)
+        return result
+
+    def _run(self, entry: int, max_instructions: int) -> RunResult:
         self.regs.rip = entry
         self._halted = False
         self._fault = None
@@ -200,6 +230,12 @@ class Cpu:
             self.stats.cycles += outcome.cycles
         else:
             self.hfi.regs.cause_msr = fault.cause
+        if self.telemetry.enabled:
+            self.telemetry.count("cpu.hfi_fault")
+            self.telemetry.event("hfi.fault", self.stats.cycles,
+                                 cause=fault.cause.name, addr=fault.addr)
+            self.telemetry.end_span(self.stats.cycles, name="hfi.sandbox",
+                                    reason="fault")
         self._deliver_segv(fault.addr, int(fault.cause), str(fault))
         self._fault = FaultInfo("hfi", fault.addr, fault.cause, fault.detail)
 
@@ -208,6 +244,11 @@ class Cpu:
         if self.hfi.enabled:
             outcome = self.hfi.fault(FaultCause.HARDWARE_TRAP, fault.addr)
             self.stats.cycles += outcome.cycles
+            if self.telemetry.enabled:
+                self.telemetry.end_span(self.stats.cycles,
+                                        name="hfi.sandbox", reason="fault")
+        if self.telemetry.enabled:
+            self.telemetry.count("cpu.page_fault")
         self._deliver_segv(fault.addr, 0, str(fault))
         self._fault = FaultInfo("page", fault.addr, FaultCause.NONE,
                                 fault.reason)
@@ -605,6 +646,11 @@ class Cpu:
             cost = self.hfi.reenter()
             if not self._speculative:
                 self.stats.cycles += cost
+                if self.telemetry.enabled:
+                    self.telemetry.count("cpu.hfi_reenter")
+                    self.telemetry.begin_span("hfi.sandbox",
+                                              self.stats.cycles,
+                                              reenter=True)
             return
         if opcode is Opcode.HFI_SET_REGION:
             self._hfi_set_region(ops[0].value, ops[1])
@@ -719,6 +765,7 @@ class Cpu:
         self.stats.cycles += (cost if cost is not None
                               else self.params.serialize_drain_cycles)
         self.stats.serializations += 1
+        self.telemetry.count("cpu.serialization")
 
     def _syscall(self, legacy: bool, next_rip: int) -> None:
         if self._speculative:
@@ -730,10 +777,19 @@ class Cpu:
             # handler (§4.4); the cause MSR already says which call.
             self.stats.interposed_syscalls += 1
             self.stats.cycles += outcome.cycles
+            if self.telemetry.enabled:
+                self.telemetry.count("cpu.syscall.interposed")
+                self.telemetry.event("syscall.interposed",
+                                     self.stats.cycles, nr=nr)
+                self.telemetry.end_span(self.stats.cycles,
+                                        name="hfi.sandbox",
+                                        reason="syscall")
             if outcome.redirect_to is not None:
                 self.regs.rip = outcome.redirect_to
             return
         self.stats.syscalls += 1
+        if self.telemetry.enabled:
+            self.telemetry.count("cpu.syscall")
         if self.kernel is not None and self.process is not None:
             result = self.kernel.syscall(
                 self.process, nr,
@@ -792,6 +848,12 @@ class Cpu:
         if not self._speculative:
             self.stats.cycles += cost
             self.stats.serializations += 1 if flags.is_serialized else 0
+            if self.telemetry.enabled:
+                self.telemetry.count("cpu.hfi_enter")
+                self.telemetry.begin_span(
+                    "hfi.sandbox", self.stats.cycles,
+                    serialized=flags.is_serialized,
+                    hybrid=flags.is_hybrid)
 
     def _hfi_exit(self) -> None:
         if self._speculative and self.hfi.flags.is_serialized:
@@ -800,6 +862,11 @@ class Cpu:
         outcome = self.hfi.exit()
         if not self._speculative:
             self.stats.cycles += outcome.cycles
+            if self.telemetry.enabled:
+                self.telemetry.count("cpu.hfi_exit")
+                self.telemetry.end_span(self.stats.cycles,
+                                        name="hfi.sandbox",
+                                        reason="exit")
         if outcome.redirect_to is not None:
             self.regs.rip = outcome.redirect_to
 
@@ -811,6 +878,10 @@ class Cpu:
         cost = self.hfi.set_region(number, region)
         if not self._speculative:
             self.stats.cycles += cost
+            if self.telemetry.enabled:
+                self.telemetry.count("cpu.region_install")
+                self.telemetry.event("hfi.set_region", self.stats.cycles,
+                                     region=number)
 
     def _hfi_get_region(self, number: int, descriptor_reg: Reg) -> None:
         region, cost = self.hfi.get_region(number)

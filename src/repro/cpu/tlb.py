@@ -4,6 +4,10 @@ HFI's region checks run *in parallel* with the dtb lookup (paper
 Fig. 1), so an HFI-checked access pays no extra latency over the TLB
 path — the simulator models this by charging the TLB cost identically
 whether or not HFI is enabled.
+
+``tlb.stats()`` returns a :class:`repro.telemetry.TlbStats` snapshot;
+the legacy ``tlb.hits`` / ``tlb.misses`` raw attributes remain as
+deprecated read-through properties.
 """
 
 from __future__ import annotations
@@ -11,6 +15,7 @@ from __future__ import annotations
 from typing import Dict
 
 from ..params import DEFAULT_PARAMS, MachineParams
+from ..telemetry.stats import TlbStats, deprecated_attribute
 
 
 class Tlb:
@@ -20,8 +25,26 @@ class Tlb:
         self.params = params
         self.entries = params.dtlb_entries
         self._pages: Dict[int, bool] = {}
-        self.hits = 0
-        self.misses = 0
+        self._hits = 0
+        self._misses = 0
+        self._shootdowns = 0
+
+    # ------------------------------------------------------------------
+    # uniform stats API + deprecated raw counters
+    # ------------------------------------------------------------------
+    def stats(self) -> TlbStats:
+        return TlbStats(component="dtlb", hits=self._hits,
+                        misses=self._misses, shootdowns=self._shootdowns)
+
+    @property
+    def hits(self) -> int:
+        return deprecated_attribute(self._hits, "Tlb", "hits",
+                                    "Tlb.stats().hits")
+
+    @property
+    def misses(self) -> int:
+        return deprecated_attribute(self._misses, "Tlb", "misses",
+                                    "Tlb.stats().misses")
 
     def access(self, addr: int) -> int:
         """Translate; returns added latency (0 on hit, walk cost on miss)."""
@@ -29,15 +52,16 @@ class Tlb:
         if page in self._pages:
             del self._pages[page]
             self._pages[page] = True
-            self.hits += 1
+            self._hits += 1
             return 0
         if len(self._pages) >= self.entries:
             victim = next(iter(self._pages))
             del self._pages[victim]
         self._pages[page] = True
-        self.misses += 1
+        self._misses += 1
         return self.params.dtlb_miss_cycles
 
     def shootdown(self) -> None:
         """Invalidate everything (munmap/madvise in concurrent mode)."""
         self._pages.clear()
+        self._shootdowns += 1

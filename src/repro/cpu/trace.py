@@ -14,6 +14,7 @@ from typing import List, Optional, Tuple
 
 from ..isa.instruction import Instruction
 from ..isa.opcodes import HFI_OPS, HMOV_REGION, Opcode
+from ..telemetry.stats import TracerStats
 
 
 @dataclass
@@ -53,6 +54,22 @@ class Tracer:
                                        speculative))
 
     # ------------------------------------------------------------------
+    def stats(self) -> TracerStats:
+        """Uniform component-stats snapshot (``repro.telemetry``).
+
+        ``tracer.mix`` / ``tracer.spec_mix`` remain the live counters;
+        this is the export-friendly view of the same data.
+        """
+        return TracerStats(
+            component="tracer",
+            instructions=self.total,
+            speculative_instructions=sum(self.spec_mix.values()),
+            dropped=self.dropped,
+            hfi_instructions=self.hfi_instruction_count(),
+            transitions=self.transitions(),
+            mix={op.value: n for op, n in self.mix.items()},
+            spec_mix={op.value: n for op, n in self.spec_mix.items()})
+
     @property
     def total(self) -> int:
         return sum(self.mix.values())

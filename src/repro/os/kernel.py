@@ -14,6 +14,8 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..params import DEFAULT_PARAMS, MachineParams
+from ..telemetry.sink import Telemetry, coalesce
+from ..telemetry.stats import KernelStats
 from .address_space import Prot
 from .filesystem import FileSystem
 from .process import Process
@@ -55,12 +57,27 @@ class Kernel:
     """Dispatches syscalls for processes; owns the filesystem."""
 
     def __init__(self, params: MachineParams = DEFAULT_PARAMS,
-                 filesystem: Optional[FileSystem] = None):
+                 filesystem: Optional[FileSystem] = None,
+                 telemetry: Optional[Telemetry] = None):
         self.params = params
         self.fs = filesystem if filesystem is not None else FileSystem()
         self._next_pid = 1
         self.processes: Dict[int, Process] = {}
         self.syscall_count = 0
+        self.seccomp_diverted = 0
+        self.segv_delivered = 0
+        self.syscall_cycles = 0
+        self.telemetry = coalesce(telemetry)
+        if self.telemetry.enabled:
+            self.telemetry.register_component("kernel", self.stats)
+
+    def stats(self) -> KernelStats:
+        """Uniform component-stats snapshot (``repro.telemetry``)."""
+        return KernelStats(
+            component="kernel", syscalls=self.syscall_count,
+            seccomp_diverted=self.seccomp_diverted,
+            segv_delivered=self.segv_delivered,
+            syscall_cycles=self.syscall_cycles)
 
     def spawn(self, address_space=None, va_bits: Optional[int] = None) -> Process:
         """Create a process with a fresh address space."""
@@ -77,18 +94,31 @@ class Kernel:
         """Run syscall ``nr`` for ``proc``; returns value + cycle cost."""
         self.syscall_count += 1
         cost = self.params.syscall_cycles
+        if self.telemetry.enabled:
+            self.telemetry.count("kernel.syscall")
         if proc.seccomp is not None:
             action, filter_cost = proc.seccomp.evaluate(nr)
             cost += filter_cost
             if action is SeccompAction.ERRNO:
+                self._charge(cost)
                 return SyscallResult(EPERM, cost, action)
             if action in (SeccompAction.TRAP, SeccompAction.KILL,
                           SeccompAction.NOTIFY):
                 # Control is diverted to the supervisor; the caller
                 # decides what happens next (§6.4.1's interposition).
+                self.seccomp_diverted += 1
+                if self.telemetry.enabled:
+                    self.telemetry.count("kernel.seccomp_diverted")
+                self._charge(cost)
                 return SyscallResult(0, cost, action)
         value, op_cost = self._dispatch(proc, nr, args)
+        self._charge(cost + op_cost)
         return SyscallResult(value, cost + op_cost)
+
+    def _charge(self, cycles: int) -> None:
+        self.syscall_cycles += cycles
+        if self.telemetry.enabled:
+            self.telemetry.add_cycles("kernel.syscall", cycles)
 
     def _dispatch(self, proc: Process, nr: int,
                   args: Tuple[int, ...]) -> Tuple[int, int]:
@@ -168,4 +198,10 @@ class Kernel:
         info = SigInfo(Signal.SIGSEGV, fault_addr=fault_addr,
                        hfi_cause=hfi_cause, description=description)
         proc.signals.deliver(info)
+        self.segv_delivered += 1
+        if self.telemetry.enabled:
+            self.telemetry.count("kernel.segv")
+            self.telemetry.event("kernel.segv", self.syscall_cycles,
+                                 fault_addr=fault_addr,
+                                 hfi_cause=hfi_cause)
         return self.params.signal_delivery_cycles

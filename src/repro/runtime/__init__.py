@@ -3,14 +3,14 @@
 from .chaining import ChainHop, ChainModel
 from .faas import FaasMetrics, FaasServer, percentile
 from .pool import InstancePool, PoolSlot
-from .sandbox import SandboxHandle, SandboxManager
+from .sandbox import InvokeResult, SandboxHandle, SandboxManager
 from .scheduling import MultiplexModel, ScheduleOutcome
 from .startup import StartupModel
 from .transitions import TransitionKind, TransitionModel
 
 __all__ = [
-    "FaasMetrics", "FaasServer", "percentile", "SandboxHandle",
-    "SandboxManager", "TransitionKind", "TransitionModel", "ChainHop",
-    "ChainModel", "InstancePool", "PoolSlot", "StartupModel",
-    "MultiplexModel", "ScheduleOutcome",
+    "FaasMetrics", "FaasServer", "percentile", "InvokeResult",
+    "SandboxHandle", "SandboxManager", "TransitionKind",
+    "TransitionModel", "ChainHop", "ChainModel", "InstancePool",
+    "PoolSlot", "StartupModel", "MultiplexModel", "ScheduleOutcome",
 ]

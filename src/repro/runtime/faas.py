@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..params import DEFAULT_PARAMS, MachineParams
+from ..telemetry.sink import NULL_TELEMETRY, Telemetry
 
 
 @dataclass
@@ -59,6 +60,9 @@ class FaasServer:
     params: MachineParams = field(default_factory=lambda: DEFAULT_PARAMS)
     n_workers: int = 2
     seed: int = 2023
+    #: Optional sink; each simulate() run is spanned and its request
+    #: count / latency distribution recorded.
+    telemetry: Telemetry = field(default=NULL_TELEMETRY, repr=False)
 
     def simulate(self, scheme: str, service_cycles: int,
                  n_requests: int = 2000,
@@ -105,6 +109,18 @@ class FaasServer:
             last_finish = max(last_finish, finish)
 
         makespan = max(last_finish, arrivals[-1]) or 1e-12
+        if self.telemetry.enabled:
+            self.telemetry.count("faas.requests", n_requests)
+            self.telemetry.count(f"faas.runs[{scheme}]")
+            histogram = self.telemetry.observe
+            cycles_per_s = 1.0 / self.params.cycles_to_seconds(1)
+            for latency in latencies:
+                histogram("faas.latency_cycles",
+                          int(latency * cycles_per_s))
+            self.telemetry.event(
+                "faas.simulate", 0, scheme=scheme, requests=n_requests,
+                utilization=round(busy_time / (makespan * self.n_workers),
+                                  4))
         return FaasMetrics(
             scheme=scheme,
             requests=n_requests,

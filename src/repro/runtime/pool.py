@@ -15,6 +15,8 @@ from typing import List, Optional
 
 from ..os.address_space import AddressSpace
 from ..params import DEFAULT_PARAMS, MachineParams
+from ..telemetry.sink import Telemetry, coalesce
+from ..telemetry.stats import PoolStats
 from ..wasm.strategies import IsolationStrategy
 
 
@@ -34,22 +36,30 @@ class InstancePool:
                  strategy: IsolationStrategy, *, slots: int,
                  heap_bytes: int,
                  params: MachineParams = DEFAULT_PARAMS,
-                 batch_teardown: bool = False):
+                 batch_teardown: bool = False,
+                 telemetry: Optional[Telemetry] = None):
         self.space = space
         self.strategy = strategy
         self.params = params
         self.batch_teardown = batch_teardown
+        self.telemetry = coalesce(telemetry)
         self.slots: List[PoolSlot] = []
         self._free: List[int] = []
         self._pending_discard: List[PoolSlot] = []
         self.setup_cycles = 0
         self.recycle_cycles = 0
+        self.acquires = 0
+        self.releases = 0
+        self.batched_flushes = 0
         for i in range(slots):
             base, cost = strategy.reserve_memory(
                 space, heap_bytes, name=f"pool-slot{i}")
             self.setup_cycles += cost + 2 * params.syscall_cycles
             self.slots.append(PoolSlot(i, base, heap_bytes))
             self._free.append(i)
+        if self.telemetry.enabled:
+            self.telemetry.register_component("pool", self.stats)
+            self.telemetry.add_cycles("pool.setup", self.setup_cycles)
 
     # ------------------------------------------------------------------
     @property
@@ -59,9 +69,14 @@ class InstancePool:
     def acquire(self) -> Optional[PoolSlot]:
         """Pop a clean slot; None if the pool is exhausted."""
         if not self._free:
+            if self.telemetry.enabled:
+                self.telemetry.count("pool.exhausted")
             return None
         slot = self.slots[self._free.pop()]
         slot.in_use = True
+        self.acquires += 1
+        if self.telemetry.enabled:
+            self.telemetry.count("pool.acquire")
         return slot
 
     def release(self, slot: PoolSlot) -> int:
@@ -73,6 +88,9 @@ class InstancePool:
             raise ValueError(f"slot {slot.index} not in use")
         slot.in_use = False
         slot.dirty = True
+        self.releases += 1
+        if self.telemetry.enabled:
+            self.telemetry.count("pool.release")
         if self.batch_teardown:
             self._pending_discard.append(slot)
             self._free.append(slot.index)
@@ -83,6 +101,8 @@ class InstancePool:
         slot.dirty = False
         self._free.append(slot.index)
         self.recycle_cycles += cost
+        if self.telemetry.enabled:
+            self.telemetry.add_cycles("pool.recycle", cost)
         return cost
 
     def flush_discards(self) -> int:
@@ -103,4 +123,18 @@ class InstancePool:
             slot.dirty = False
         self._pending_discard.clear()
         self.recycle_cycles += cost
+        self.batched_flushes += 1
+        if self.telemetry.enabled:
+            self.telemetry.count("pool.batched_flush")
+            self.telemetry.add_cycles("pool.recycle", cost)
         return cost
+
+    # ------------------------------------------------------------------
+    def stats(self) -> PoolStats:
+        """Uniform component-stats snapshot (``repro.telemetry``)."""
+        return PoolStats(
+            component="pool", slots=len(self.slots),
+            available=self.available, acquires=self.acquires,
+            releases=self.releases, batched_flushes=self.batched_flushes,
+            setup_cycles=self.setup_cycles,
+            recycle_cycles=self.recycle_cycles)

@@ -23,6 +23,8 @@ from ..core import (
 )
 from ..os.address_space import AddressSpace, Prot
 from ..params import DEFAULT_PARAMS, MachineParams
+from ..telemetry.sink import Telemetry, coalesce
+from ..telemetry.stats import SandboxManagerStats, SandboxStats
 from .transitions import TransitionKind, TransitionModel
 
 
@@ -40,18 +42,112 @@ class SandboxHandle:
     cycles: int = 0
 
 
+@dataclass
+class InvokeResult:
+    """Typed result of one sandbox invocation.
+
+    Field names shared with :class:`repro.cpu.machine.RunResult`
+    (``reason``, ``cycles``, ``fault``) so analysis code can consume
+    either interchangeably; the extra fields break the total down the
+    way Fig. 5 does.  ``int(result)`` and comparisons keep old
+    cycle-count call sites working.
+    """
+
+    reason: str
+    cycles: int
+    sandbox_id: int
+    invocation: int
+    enter_cycles: int = 0
+    exit_cycles: int = 0
+    software_cycles: int = 0
+    service_cycles: int = 0
+    fault: Optional[FaultCause] = None
+    cause: FaultCause = FaultCause.NONE
+    #: Pool bookkeeping, set only by :meth:`SandboxManager.invoke_pooled`.
+    slot_index: Optional[int] = None
+    recycle_cycles: int = 0
+
+    def __int__(self) -> int:
+        return self.cycles
+
+    def __index__(self) -> int:
+        return self.cycles
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (int, float)):
+            return self.cycles == other
+        return NotImplemented
+
+    def __lt__(self, other):
+        return self.cycles < int(other)
+
+    def __le__(self, other):
+        return self.cycles <= int(other)
+
+    def __gt__(self, other):
+        return self.cycles > int(other)
+
+    def __ge__(self, other):
+        return self.cycles >= int(other)
+
+    def __add__(self, other):
+        return self.cycles + int(other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self.cycles - int(other)
+
+    def __rsub__(self, other):
+        return int(other) - self.cycles
+
+    def __hash__(self):
+        return hash((self.sandbox_id, self.invocation, self.cycles))
+
+    def as_dict(self) -> dict:
+        return {
+            "reason": self.reason, "cycles": self.cycles,
+            "sandbox_id": self.sandbox_id, "invocation": self.invocation,
+            "enter_cycles": self.enter_cycles,
+            "exit_cycles": self.exit_cycles,
+            "software_cycles": self.software_cycles,
+            "service_cycles": self.service_cycles,
+            "cause": self.cause.name,
+            "fault": self.fault.name if self.fault else None,
+            "slot_index": self.slot_index,
+            "recycle_cycles": self.recycle_cycles,
+        }
+
+
 class SandboxManager:
     """Creates and invokes in-process sandboxes over one HFI core."""
 
     def __init__(self, params: MachineParams = DEFAULT_PARAMS,
-                 space: Optional[AddressSpace] = None):
+                 space: Optional[AddressSpace] = None,
+                 telemetry: Optional[Telemetry] = None):
         self.params = params
         self.space = space if space is not None else AddressSpace(params)
-        self.hfi = Hfi(params)
-        self.transitions = TransitionModel(params)
+        self.telemetry = coalesce(telemetry)
+        self.hfi = Hfi(params, telemetry=self.telemetry)
+        self.transitions = TransitionModel(params, telemetry=self.telemetry)
         self._handles: Dict[int, SandboxHandle] = {}
         self._next_id = 1
         self.total_cycles = 0
+        self.sandboxes_created = 0
+        self.invocations = 0
+        if self.telemetry.enabled:
+            self.telemetry.register_component("sandbox_manager", self.stats)
+
+    def _attribute(self, handle: Optional[SandboxHandle],
+                   cycles: int) -> None:
+        """Charge cycles to both the manager total and the telemetry
+        attribution ledger, so the two always sum identically."""
+        self.total_cycles += cycles
+        if handle is not None:
+            handle.cycles += cycles
+        if self.telemetry.enabled:
+            self.telemetry.attribute(
+                handle.sandbox_id if handle is not None else None, cycles)
 
     # ------------------------------------------------------------------
     def create_sandbox(self, *, heap_bytes: int, code_bytes: int = 1 << 20,
@@ -92,23 +188,61 @@ class SandboxManager:
             heap_bytes=heap_bytes, is_hybrid=hybrid)
         self._next_id += 1
         self._handles[handle.sandbox_id] = handle
-        handle.cycles += cost
-        self.total_cycles += cost
+        self.sandboxes_created += 1
+        self._attribute(handle, cost)
+        if self.telemetry.enabled:
+            self.telemetry.count("sandbox.create")
+            self.telemetry.event("sandbox.create", self.total_cycles,
+                                 sandbox_id=handle.sandbox_id,
+                                 heap_bytes=heap_bytes, hybrid=hybrid)
         return handle
 
     # ------------------------------------------------------------------
     def invoke(self, handle: SandboxHandle, service_cycles: int,
-               transition: TransitionKind = TransitionKind.ZERO_COST) -> int:
+               transition: TransitionKind = TransitionKind.ZERO_COST,
+               ) -> InvokeResult:
         """Run one invocation: enter, do ``service_cycles`` of sandboxed
-        work, exit.  Returns total cycles."""
+        work, exit.  Returns an :class:`InvokeResult` (which still
+        compares/adds like the raw cycle total it used to be)."""
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.count("sandbox.invoke")
+            telemetry.begin_span("sandbox.invoke", self.total_cycles,
+                                 sandbox_id=handle.sandbox_id,
+                                 transition=transition.value)
         enter = self.hfi.enter(handle.descriptor)
         outcome = self.hfi.exit()
         software = 2 * self.transitions.software_cost(transition)
         total = enter + outcome.cycles + software + service_cycles
         handle.invocations += 1
-        handle.cycles += total
-        self.total_cycles += total
-        return total
+        self.invocations += 1
+        self._attribute(handle, total)
+        if telemetry.enabled:
+            telemetry.end_span(self.total_cycles, name="sandbox.invoke",
+                               cycles=total)
+        return InvokeResult(
+            reason="hlt", cycles=total, sandbox_id=handle.sandbox_id,
+            invocation=handle.invocations, enter_cycles=enter,
+            exit_cycles=outcome.cycles, software_cycles=software,
+            service_cycles=service_cycles, cause=outcome.cause)
+
+    def invoke_pooled(self, handle: SandboxHandle, pool,
+                      service_cycles: int,
+                      transition: TransitionKind = TransitionKind.ZERO_COST,
+                      ) -> InvokeResult:
+        """One invocation scheduled through an
+        :class:`~repro.runtime.pool.InstancePool`: acquire a slot,
+        run, release (charging the recycle cost to the sandbox)."""
+        slot = pool.acquire()
+        if slot is None:
+            raise RuntimeError("instance pool exhausted")
+        result = self.invoke(handle, service_cycles, transition)
+        recycle = pool.release(slot)
+        self._attribute(handle, recycle)
+        result.slot_index = slot.index
+        result.recycle_cycles = recycle
+        result.cycles += recycle
+        return result
 
     def grow_heap(self, handle: SandboxHandle, new_bytes: int) -> int:
         """Resize the sandbox's explicit region — a register update."""
@@ -120,8 +254,9 @@ class SandboxManager:
                 + 3 * (self.params.base_cycles
                        + self.params.l1d_hit_cycles))
         handle.heap_bytes = new_bytes
-        handle.cycles += cost
-        self.total_cycles += cost
+        self._attribute(handle, cost)
+        if self.telemetry.enabled:
+            self.telemetry.count("sandbox.grow_heap")
         return cost
 
     def destroy_sandbox(self, handle: SandboxHandle,
@@ -135,9 +270,31 @@ class SandboxManager:
                     + self.space.madvise_dontneed(handle.heap_base,
                                                   handle.heap_bytes))
         del self._handles[handle.sandbox_id]
-        self.total_cycles += cost
+        self._attribute(handle, cost)
+        if self.telemetry.enabled:
+            self.telemetry.count("sandbox.destroy")
+            self.telemetry.event("sandbox.destroy", self.total_cycles,
+                                 sandbox_id=handle.sandbox_id)
         return cost
 
     @property
     def live_sandboxes(self) -> int:
         return len(self._handles)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> SandboxManagerStats:
+        """Uniform component-stats snapshot (``repro.telemetry``)."""
+        return SandboxManagerStats(
+            component="sandbox_manager",
+            sandboxes_created=self.sandboxes_created,
+            live_sandboxes=self.live_sandboxes,
+            invocations=self.invocations,
+            total_cycles=self.total_cycles,
+            sandboxes=[
+                SandboxStats(component=f"sandbox[{h.sandbox_id}]",
+                             sandbox_id=h.sandbox_id,
+                             invocations=h.invocations, cycles=h.cycles,
+                             heap_bytes=h.heap_bytes,
+                             is_hybrid=h.is_hybrid)
+                for h in self._handles.values()
+            ])

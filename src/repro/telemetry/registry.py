@@ -1,0 +1,133 @@
+"""The metrics registry: counters, histograms, cycle accumulators.
+
+Follows the gem5-stats shape the ROADMAP points at: metrics are
+created on first use, named with dotted paths
+(``cpu.hfi_enter``, ``pool.release``, ``sandbox.cycles``), and a
+registry snapshot is a plain dict ready for JSON/CSV export.
+
+Everything here is pure bookkeeping — no metric ever feeds back into
+cycle accounting, which is what makes null-sink parity (identical
+cycle counts with telemetry on or off) a structural guarantee rather
+than a test hope.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def add(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """Power-of-two bucketed value distribution (latencies, sizes)."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "_buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        bucket = max(0, int(value).bit_length()) if value >= 1 else 0
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def buckets(self) -> Dict[str, int]:
+        """``{"<2^k": count}`` in ascending bucket order."""
+        return {f"<{1 << k}": v
+                for k, v in sorted(self._buckets.items())}
+
+
+class CycleAccumulator:
+    """Cycles charged under one name, attributable to sandboxes.
+
+    ``add(cycles, key=7)`` books cycles both to the total and to
+    sandbox 7; ``key=None`` books unattributed cycles (the trusted
+    runtime itself).  ``sandbox.cycles`` is the accumulator the
+    per-sandbox attribution report reads.
+    """
+
+    __slots__ = ("name", "total", "by_key")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.total = 0
+        self.by_key: Dict[Optional[int], int] = {}
+
+    def add(self, cycles: int, key: Optional[int] = None) -> None:
+        self.total += cycles
+        self.by_key[key] = self.by_key.get(key, 0) + cycles
+
+
+class MetricsRegistry:
+    """Get-or-create store for all three metric kinds."""
+
+    def __init__(self):
+        self.counters: Dict[str, Counter] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.cycles: Dict[str, CycleAccumulator] = {}
+
+    # -- get-or-create ------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def histogram(self, name: str) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name)
+        return h
+
+    def cycle_accumulator(self, name: str) -> CycleAccumulator:
+        a = self.cycles.get(name)
+        if a is None:
+            a = self.cycles[name] = CycleAccumulator(name)
+        return a
+
+    # -- snapshot ------------------------------------------------------
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "histograms": {
+                n: {"count": h.count, "mean": h.mean, "min": h.min,
+                    "max": h.max, "buckets": h.buckets()}
+                for n, h in sorted(self.histograms.items())},
+            "cycles": {
+                n: {"total": a.total,
+                    "by_key": {str(k): v for k, v in sorted(
+                        a.by_key.items(),
+                        key=lambda kv: (kv[0] is None, kv[0]))}}
+                for n, a in sorted(self.cycles.items())},
+        }
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.histograms.clear()
+        self.cycles.clear()

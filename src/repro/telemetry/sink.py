@@ -1,0 +1,172 @@
+"""The ``Telemetry`` sink — the one object every layer reports into.
+
+Components take an optional ``telemetry`` argument and default to the
+shared :data:`NULL_TELEMETRY` sink, whose every method is a no-op and
+whose ``enabled`` flag is False, so instrumented hot paths cost one
+attribute test when telemetry is off.  Telemetry *never* feeds back
+into cycle accounting: with the null sink or a real sink, simulated
+cycle counts are identical by construction.
+
+Wiring pattern (see docs/architecture.md)::
+
+    tel = Telemetry()
+    manager = SandboxManager(params, telemetry=tel)
+    ... run work ...
+    tel.snapshot()            # JSON-ready dict
+    tel.attribution()         # {sandbox_id: cycles}
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .registry import MetricsRegistry
+from .spans import Span, SpanLog
+from .stats import ComponentStats
+
+#: Accumulator name carrying the per-sandbox cycle attribution.
+SANDBOX_CYCLES = "sandbox.cycles"
+
+
+class Telemetry:
+    """A live metrics registry + span log + component collectors."""
+
+    enabled = True
+
+    def __init__(self, span_capacity: int = 100_000):
+        self.registry = MetricsRegistry()
+        self.spans = SpanLog(capacity=span_capacity)
+        self._collectors: List[Tuple[str, Callable[[], ComponentStats]]] = []
+
+    # -- identity across copy/deepcopy ---------------------------------
+    # The CPU deep-copies HfiState around speculation windows; any
+    # object graph holding a sink must share it, never clone it.
+    def __copy__(self) -> "Telemetry":
+        return self
+
+    def __deepcopy__(self, memo) -> "Telemetry":
+        return self
+
+    # -- metrics -------------------------------------------------------
+    def count(self, name: str, n: int = 1) -> None:
+        self.registry.counter(name).add(n)
+
+    def observe(self, name: str, value: float) -> None:
+        self.registry.histogram(name).observe(value)
+
+    def add_cycles(self, name: str, cycles: int,
+                   sandbox_id: Optional[int] = None) -> None:
+        self.registry.cycle_accumulator(name).add(cycles, sandbox_id)
+
+    def attribute(self, sandbox_id: Optional[int], cycles: int) -> None:
+        """Book cycles against one sandbox (None = trusted runtime)."""
+        self.registry.cycle_accumulator(SANDBOX_CYCLES).add(
+            cycles, sandbox_id)
+
+    # -- spans ---------------------------------------------------------
+    def begin_span(self, name: str, cycle: int,
+                   sandbox_id: Optional[int] = None,
+                   **attrs) -> Optional[Span]:
+        return self.spans.begin(name, cycle, sandbox_id=sandbox_id, **attrs)
+
+    def end_span(self, cycle: int, name: Optional[str] = None,
+                 **attrs) -> None:
+        self.spans.end(cycle, name=name, **attrs)
+
+    def event(self, name: str, cycle: int,
+              sandbox_id: Optional[int] = None, **attrs) -> None:
+        self.spans.event(name, cycle, sandbox_id=sandbox_id, **attrs)
+
+    @contextmanager
+    def span(self, name: str, clock: Callable[[], int],
+             sandbox_id: Optional[int] = None, **attrs):
+        """Context-manager span over a caller-supplied cycle clock."""
+        self.begin_span(name, clock(), sandbox_id=sandbox_id, **attrs)
+        try:
+            yield self
+        finally:
+            self.end_span(clock(), name=name)
+
+    # -- component stats -----------------------------------------------
+    def register_component(
+            self, name: str,
+            stats_fn: Callable[[], ComponentStats]) -> None:
+        """Attach a ``.stats()``-style collector, sampled at snapshot."""
+        self._collectors = [(n, f) for n, f in self._collectors
+                            if n != name]
+        self._collectors.append((name, stats_fn))
+
+    def collect(self) -> Dict[str, ComponentStats]:
+        return {name: fn() for name, fn in self._collectors}
+
+    # -- export --------------------------------------------------------
+    def attribution(self) -> Dict[Optional[int], int]:
+        """Per-sandbox cycles booked via :meth:`attribute`."""
+        acc = self.registry.cycles.get(SANDBOX_CYCLES)
+        return dict(acc.by_key) if acc is not None else {}
+
+    def snapshot(self) -> Dict[str, object]:
+        """Everything, JSON-ready (spans capped by the log's capacity)."""
+        snap = self.registry.as_dict()
+        snap["sandbox_cycles"] = {
+            str(k): v for k, v in self.attribution().items()}
+        snap["spans"] = self.spans.as_dicts()
+        snap["spans_dropped"] = self.spans.dropped
+        snap["components"] = {
+            name: stats.as_dict() for name, stats in self.collect().items()}
+        return snap
+
+    def reset(self) -> None:
+        self.registry.reset()
+        self.spans = SpanLog(capacity=self.spans.capacity)
+
+
+class NullTelemetry(Telemetry):
+    """The default sink: does nothing, shares one global instance.
+
+    Keeps the full interface so instrumented code never branches on
+    sink type — only, optionally, on the cheap ``enabled`` flag.
+    """
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__(span_capacity=0)
+
+    def count(self, name, n=1):
+        pass
+
+    def observe(self, name, value):
+        pass
+
+    def add_cycles(self, name, cycles, sandbox_id=None):
+        pass
+
+    def attribute(self, sandbox_id, cycles):
+        pass
+
+    def begin_span(self, name, cycle, sandbox_id=None, **attrs):
+        return None
+
+    def end_span(self, cycle, name=None, **attrs):
+        pass
+
+    def event(self, name, cycle, sandbox_id=None, **attrs):
+        pass
+
+    @contextmanager
+    def span(self, name, clock, sandbox_id=None, **attrs):
+        yield self
+
+    def register_component(self, name, stats_fn):
+        pass
+
+
+#: The process-wide default sink.
+NULL_TELEMETRY = NullTelemetry()
+
+
+def coalesce(telemetry: Optional[Telemetry]) -> Telemetry:
+    """``telemetry or NULL_TELEMETRY`` with an explicit name."""
+    return telemetry if telemetry is not None else NULL_TELEMETRY

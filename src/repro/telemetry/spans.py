@@ -1,0 +1,122 @@
+"""Span-based tracing of sandbox lifecycle events.
+
+A span is an interval on some monotonically increasing clock — the
+CPU simulator uses its cycle counter, the analytic runtime layer uses
+the manager's cycle ledger.  Spans nest: an ``hfi_enter`` opens a
+``sandbox`` span inside the enclosing ``cpu.run`` span; a syscall
+interposition is a zero-length event inside the sandbox span.
+
+The log is single-threaded (the simulator is), so nesting is a plain
+stack.  Faulting exits may leave a span open; ``close_all`` seals the
+log at collection time without inventing durations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Span:
+    span_id: int
+    name: str
+    begin_cycle: int
+    end_cycle: Optional[int] = None
+    parent_id: Optional[int] = None
+    depth: int = 0
+    sandbox_id: Optional[int] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def open(self) -> bool:
+        return self.end_cycle is None
+
+    @property
+    def duration(self) -> Optional[int]:
+        if self.end_cycle is None:
+            return None
+        return self.end_cycle - self.begin_cycle
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "span_id": self.span_id, "name": self.name,
+            "begin_cycle": self.begin_cycle, "end_cycle": self.end_cycle,
+            "duration": self.duration, "parent_id": self.parent_id,
+            "depth": self.depth, "sandbox_id": self.sandbox_id,
+            "attrs": dict(self.attrs),
+        }
+
+
+class SpanLog:
+    """Bounded, stack-disciplined span recorder."""
+
+    def __init__(self, capacity: int = 100_000):
+        self.capacity = capacity
+        self.spans: List[Span] = []
+        self.dropped = 0
+        self._stack: List[Span] = []
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def begin(self, name: str, cycle: int,
+              sandbox_id: Optional[int] = None, **attrs) -> Optional[Span]:
+        if len(self.spans) >= self.capacity:
+            self.dropped += 1
+            return None
+        parent = self._stack[-1] if self._stack else None
+        span = Span(self._next_id, name, cycle,
+                    parent_id=parent.span_id if parent else None,
+                    depth=len(self._stack),
+                    sandbox_id=sandbox_id if sandbox_id is not None
+                    else (parent.sandbox_id if parent else None),
+                    attrs=attrs)
+        self._next_id += 1
+        self.spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def end(self, cycle: int, name: Optional[str] = None, **attrs) -> None:
+        """Close the innermost open span (matching ``name`` if given).
+
+        A faulting path may skip the exit of an inner span; ending a
+        named outer span closes the skipped inner ones at the same
+        cycle, preserving stack discipline.
+        """
+        if not self._stack:
+            return
+        if name is not None:
+            if not any(s.name == name for s in self._stack):
+                return
+            while self._stack and self._stack[-1].name != name:
+                self._stack.pop().end_cycle = cycle
+        span = self._stack.pop()
+        span.end_cycle = cycle
+        span.attrs.update(attrs)
+
+    def event(self, name: str, cycle: int,
+              sandbox_id: Optional[int] = None, **attrs) -> Optional[Span]:
+        """A zero-duration marker (syscall interposition, region install)."""
+        span = self.begin(name, cycle, sandbox_id=sandbox_id, **attrs)
+        if span is not None:
+            self._stack.pop()
+            span.end_cycle = cycle
+        return span
+
+    def close_all(self, cycle: Optional[int] = None) -> None:
+        """Seal any still-open spans (e.g. a run that faulted out)."""
+        while self._stack:
+            span = self._stack.pop()
+            if cycle is not None:
+                span.end_cycle = cycle
+
+    # ------------------------------------------------------------------
+    def named(self, name: str) -> List[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def as_dicts(self) -> List[Dict[str, object]]:
+        return [s.as_dict() for s in self.spans]

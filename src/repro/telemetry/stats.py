@@ -1,0 +1,214 @@
+"""Uniform component statistics — the ``.stats()`` API.
+
+Every measurable component (caches, TLB, predictors, tracer, sandbox
+manager, HFI state) exposes one method::
+
+    component.stats() -> ComponentStats
+
+returning a frozen-in-time dataclass snapshot.  The dataclasses share
+a small base so exporters can treat them generically: ``as_dict()``
+includes derived properties (hit rates, shares) alongside raw
+counters, which is what the JSON/CSV exporters and ``repro-hfi
+telemetry --json`` emit.
+
+Legacy access paths (``cache.stats.hits``, ``tlb.hits``,
+``tracer.mix`` …) keep working as deprecated read-throughs so older
+experiment scripts survive the redesign; see :class:`StatsAccessor`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+@dataclass
+class ComponentStats:
+    """Base snapshot type: a named component plus its counters."""
+
+    component: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        """Fields plus computed ``@property`` values, JSON-ready."""
+        out = dataclasses.asdict(self)
+        for klass in type(self).__mro__:
+            for name, attr in vars(klass).items():
+                if isinstance(attr, property) and name not in out:
+                    out[name] = getattr(self, name)
+        return out
+
+
+class StatsAccessor:
+    """Makes ``obj.stats()`` and legacy ``obj.stats.<field>`` coexist.
+
+    Components that historically exposed a ``stats`` *attribute*
+    (notably :class:`~repro.cpu.cache.Cache`) return one of these from
+    a ``stats`` property: calling it yields the fresh
+    :class:`ComponentStats` snapshot (the new API); reading a counter
+    off it directly still works but raises a :class:`DeprecationWarning`.
+    """
+
+    __slots__ = ("_build",)
+
+    def __init__(self, build: Callable[[], ComponentStats]):
+        object.__setattr__(self, "_build", build)
+
+    def __call__(self) -> ComponentStats:
+        return self._build()
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        snapshot = self._build()
+        try:
+            value = getattr(snapshot, name)
+        except AttributeError:
+            raise AttributeError(
+                f"{type(snapshot).__name__} has no field {name!r}")
+        warnings.warn(
+            f"reading .stats.{name} is deprecated; call "
+            f".stats().{name} instead", DeprecationWarning, stacklevel=2)
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return repr(self._build())
+
+
+def deprecated_attribute(value, owner: str, name: str, replacement: str):
+    """Emit the standard deprecation warning for a legacy raw counter."""
+    warnings.warn(
+        f"{owner}.{name} is deprecated; use {replacement}",
+        DeprecationWarning, stacklevel=3)
+    return value
+
+
+# ----------------------------------------------------------------------
+# per-component snapshot types
+# ----------------------------------------------------------------------
+@dataclass
+class CacheStats(ComponentStats):
+    """One cache level (or the TLB treated as a cache of translations)."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class TlbStats(CacheStats):
+    """dTLB hit/miss counters plus shootdown count."""
+
+    shootdowns: int = 0
+
+
+@dataclass
+class PredictorStats(ComponentStats):
+    """PHT/BTB/RSB counters.
+
+    ``correct``/``mispredicts`` are resolved at update time from the
+    predictor's own pre-update state, so they agree with the CPU's
+    global accounting without the predictor needing a backchannel.
+    The RSB cannot see resolution, so it reports push/pop traffic and
+    underflows instead (``correct``/``mispredicts`` stay zero).
+    """
+
+    lookups: int = 0
+    updates: int = 0
+    correct: int = 0
+    mispredicts: int = 0
+    underflows: int = 0
+    entries: int = 0
+    capacity: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        resolved = self.correct + self.mispredicts
+        return self.correct / resolved if resolved else 0.0
+
+
+@dataclass
+class TracerStats(ComponentStats):
+    """Summary of a committed/speculative instruction trace."""
+
+    instructions: int = 0
+    speculative_instructions: int = 0
+    dropped: int = 0
+    hfi_instructions: int = 0
+    transitions: int = 0
+    mix: Dict[str, int] = field(default_factory=dict)
+    spec_mix: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def hfi_fraction(self) -> float:
+        return (self.hfi_instructions / self.instructions
+                if self.instructions else 0.0)
+
+
+@dataclass
+class SandboxStats(ComponentStats):
+    """Per-sandbox attribution as tracked by the manager."""
+
+    sandbox_id: int = 0
+    invocations: int = 0
+    cycles: int = 0
+    heap_bytes: int = 0
+    is_hybrid: bool = False
+
+
+@dataclass
+class SandboxManagerStats(ComponentStats):
+    """Whole-manager rollup; ``sandboxes`` carries the attribution."""
+
+    sandboxes_created: int = 0
+    live_sandboxes: int = 0
+    invocations: int = 0
+    total_cycles: int = 0
+    sandboxes: List[SandboxStats] = field(default_factory=list)
+
+    @property
+    def attributed_cycles(self) -> int:
+        return sum(s.cycles for s in self.sandboxes)
+
+
+@dataclass
+class HfiDeviceStats(ComponentStats):
+    """The HFI state machine's own observability counters."""
+
+    enabled: bool = False
+    is_hybrid: bool = False
+    serializations: int = 0
+    enters: int = 0
+    exits: int = 0
+    region_installs: int = 0
+
+
+@dataclass
+class PoolStats(ComponentStats):
+    """Pooling-allocator slot traffic and recycle costs."""
+
+    slots: int = 0
+    available: int = 0
+    acquires: int = 0
+    releases: int = 0
+    batched_flushes: int = 0
+    setup_cycles: int = 0
+    recycle_cycles: int = 0
+
+
+@dataclass
+class KernelStats(ComponentStats):
+    """Syscall dispatch counters."""
+
+    syscalls: int = 0
+    seccomp_diverted: int = 0
+    segv_delivered: int = 0
+    syscall_cycles: int = 0

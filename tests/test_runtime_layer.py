@@ -56,8 +56,17 @@ class TestSandboxManager:
     def test_create_and_invoke(self, params):
         manager = SandboxManager(params)
         handle = manager.create_sandbox(heap_bytes=1 << 20)
-        cycles = manager.invoke(handle, service_cycles=10_000)
-        assert cycles > 10_000
+        result = manager.invoke(handle, service_cycles=10_000)
+        assert result.cycles > 10_000
+        assert result.reason == "hlt"
+        assert result.sandbox_id == handle.sandbox_id
+        assert result.cycles == (result.enter_cycles + result.exit_cycles
+                                 + result.software_cycles
+                                 + result.service_cycles)
+        # Typed results still compare/add like the raw totals they
+        # replaced.
+        assert result > 10_000
+        assert result == result.cycles
         assert handle.invocations == 1
         assert manager.hfi.cause_msr is FaultCause.EXIT_INSTRUCTION
 
@@ -96,8 +105,8 @@ class TestSandboxManager:
                                       serialized=False)
         slow = manager.create_sandbox(heap_bytes=1 << 16,
                                       serialized=True)
-        c_fast = manager.invoke(fast, service_cycles=0)
-        c_slow = manager.invoke(slow, service_cycles=0)
+        c_fast = manager.invoke(fast, service_cycles=0).cycles
+        c_slow = manager.invoke(slow, service_cycles=0).cycles
         assert c_slow >= c_fast + 2 * params.serialize_drain_cycles
 
 
