@@ -1,0 +1,170 @@
+"""Benchmark the interpreter hot loop: wall-clock instructions/sec.
+
+Measures the *simulator's own* speed (not simulated cycles) on the
+Sightglass + SPEC workloads, and counts ``copy.deepcopy`` calls made
+while the CPU runs — the staged-engine refactor requires zero on the
+commit and speculation paths.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python scripts/bench_dispatch.py --label before
+    ... refactor ...
+    PYTHONPATH=src python scripts/bench_dispatch.py --label after
+
+Both runs merge into ``BENCH_dispatch_speedup.json``; once both labels
+are present the script computes per-workload and aggregate speedups
+(target: >= 2x instructions/sec, simulated cycles unchanged).
+"""
+
+import argparse
+import copy
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+OUT_DEFAULT = pathlib.Path(__file__).resolve().parents[1] / \
+    "BENCH_dispatch_speedup.json"
+
+#: (suite, benchmark, strategy, scale) — branchy, memory-bound, and
+#: crypto kernels plus the SPEC interpreter/pointer-chase mix, under
+#: both an SFI-style and the HFI strategy so hot-loop coverage includes
+#: bounds checks, hmov, and sandbox transitions.
+WORKLOADS = [
+    ("sightglass", "fib2", "guard-pages", 40),
+    ("sightglass", "keccak", "hfi", 12),
+    ("sightglass", "memmove", "hfi", 20),
+    ("sightglass", "xchacha20", "guard-pages", 12),
+    ("spec", "400.perlbench", "hfi", 6),
+    ("spec", "429.mcf", "hfi", 4),
+    ("spec", "445.gobmk", "guard-pages", 4),
+]
+
+
+class DeepcopyCounter:
+    """Counts copy.deepcopy invocations while active."""
+
+    def __init__(self):
+        self.calls = 0
+        self._real = copy.deepcopy
+
+    def __enter__(self):
+        def counting(x, memo=None):
+            self.calls += 1
+            return self._real(x, memo)
+        copy.deepcopy = counting
+        return self
+
+    def __exit__(self, *exc):
+        copy.deepcopy = self._real
+        return False
+
+
+def bench_one(suite, name, strategy, scale, repeat):
+    from repro.wasm import (
+        BoundsCheckStrategy,
+        GuardPagesStrategy,
+        HfiEmulationStrategy,
+        HfiStrategy,
+        WasmRuntime,
+    )
+    strategies = {
+        "guard-pages": GuardPagesStrategy,
+        "bounds-check": BoundsCheckStrategy,
+        "hfi": HfiStrategy,
+        "hfi-emulation": HfiEmulationStrategy,
+    }
+    if suite == "sightglass":
+        from repro.workloads.sightglass import SIGHTGLASS_BENCHMARKS as reg
+    else:
+        from repro.workloads.spec import SPEC_BENCHMARKS as reg
+
+    module = reg[name](scale)
+    best = None
+    executed = cycles = 0
+    deepcopies = 0
+    for _ in range(repeat):
+        runtime = WasmRuntime()
+        instance = runtime.instantiate(module, strategies[strategy]())
+        with DeepcopyCounter() as counter:
+            t0 = time.perf_counter()
+            result = runtime.run(instance, max_instructions=50_000_000)
+            elapsed = time.perf_counter() - t0
+        assert result.reason == "hlt", (name, result.reason)
+        stats = runtime.cpu.stats
+        executed = stats.instructions + stats.speculative_instructions
+        cycles = stats.cycles
+        deepcopies = counter.calls
+        if best is None or elapsed < best:
+            best = elapsed
+    return {
+        "workload": f"{suite}:{name}:{strategy}",
+        "scale": scale,
+        "executed_instructions": executed,
+        "simulated_cycles": cycles,
+        "seconds": round(best, 4),
+        "ips": round(executed / best),
+        "deepcopy_calls": deepcopies,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", choices=("before", "after"),
+                        required=True)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--out", type=pathlib.Path, default=OUT_DEFAULT)
+    args = parser.parse_args()
+
+    rows = []
+    for suite, name, strategy, scale in WORKLOADS:
+        row = bench_one(suite, name, strategy, scale, args.repeat)
+        rows.append(row)
+        print(f"{row['workload']:40s} {row['ips']:>10,d} instr/s "
+              f"({row['executed_instructions']:,d} instr, "
+              f"{row['seconds']}s, deepcopy={row['deepcopy_calls']})",
+              flush=True)
+
+    data = {}
+    if args.out.exists():
+        data = json.loads(args.out.read_text())
+    total_instr = sum(r["executed_instructions"] for r in rows)
+    total_secs = sum(r["seconds"] for r in rows)
+    data[args.label] = {
+        "python": sys.version.split()[0],
+        "workloads": rows,
+        "aggregate_ips": round(total_instr / total_secs),
+        "deepcopy_calls": sum(r["deepcopy_calls"] for r in rows),
+    }
+
+    if "before" in data and "after" in data:
+        before = {r["workload"]: r for r in data["before"]["workloads"]}
+        after = {r["workload"]: r for r in data["after"]["workloads"]}
+        speedups = {}
+        cycles_match = True
+        for key in before:
+            if key not in after:
+                continue
+            speedups[key] = round(after[key]["ips"] / before[key]["ips"], 2)
+            if (after[key]["simulated_cycles"]
+                    != before[key]["simulated_cycles"]):
+                cycles_match = False
+        data["speedup"] = {
+            "per_workload": speedups,
+            "aggregate": round(data["after"]["aggregate_ips"]
+                               / data["before"]["aggregate_ips"], 2),
+            "simulated_cycles_identical": cycles_match,
+            "deepcopy_calls_after": data["after"]["deepcopy_calls"],
+        }
+        print(f"\naggregate speedup: {data['speedup']['aggregate']}x "
+              f"(cycles identical: {cycles_match}, "
+              f"deepcopy after: {data['after']['deepcopy_calls']})")
+
+    args.out.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

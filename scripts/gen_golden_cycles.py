@@ -1,0 +1,33 @@
+"""Regenerate tests/golden_cycles.json from the golden workloads.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/gen_golden_cycles.py
+
+Only regenerate for a change that is *supposed* to alter timing —
+refactors must leave this file byte-identical (that is the point of
+the fixture; see src/repro/workloads/golden.py).
+"""
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.workloads.golden import run_all  # noqa: E402
+
+OUT = pathlib.Path(__file__).resolve().parents[1] / "tests" / \
+    "golden_cycles.json"
+
+
+def main() -> None:
+    results = run_all()
+    OUT.write_text(json.dumps(results, indent=2, sort_keys=False) + "\n")
+    total = sum(m.get("cycles", 0) for m in results.values()
+                if isinstance(m.get("cycles", 0), int))
+    print(f"wrote {OUT} ({len(results)} workloads, {total} total cycles)")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,7 +9,6 @@ unbounded number of sandboxes (§3 property 3).
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -96,15 +95,25 @@ class HfiRegisterFile:
         return any(r is not None and r.permission_exec for r in self.code)
 
     def snapshot(self) -> "HfiRegisterFile":
-        """Copy the full register file (xsave / switch-on-exit bank)."""
-        return copy.deepcopy(self)
+        """Copy the full register file (xsave / switch-on-exit bank).
+
+        Slot-wise, not deepcopy: regions and flags are frozen
+        dataclasses, so fresh lists of shared references make the bank
+        fully independent of later writes to this file.
+        """
+        return HfiRegisterFile(
+            code=list(self.code), data=list(self.data),
+            explicit=list(self.explicit), exit_handler=self.exit_handler,
+            flags=self.flags, enabled=self.enabled,
+            cause_msr=self.cause_msr)
 
     def restore(self, saved: "HfiRegisterFile") -> None:
-        other = copy.deepcopy(saved)
-        self.code = other.code
-        self.data = other.data
-        self.explicit = other.explicit
-        self.exit_handler = other.exit_handler
-        self.flags = other.flags
-        self.enabled = other.enabled
-        self.cause_msr = other.cause_msr
+        """Adopt a saved bank in place (this object's identity persists,
+        and ``saved`` stays reusable — its lists are copied)."""
+        self.code = list(saved.code)
+        self.data = list(saved.data)
+        self.explicit = list(saved.explicit)
+        self.exit_handler = saved.exit_handler
+        self.flags = saved.flags
+        self.enabled = saved.enabled
+        self.cause_msr = saved.cause_msr

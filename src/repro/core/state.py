@@ -64,6 +64,10 @@ class HfiState:
         self.enters = 0
         self.exits = 0
         self.region_installs = 0
+        #: When a CPU speculation window is open, this points at its
+        #: undo journal; mutating methods save this state on first
+        #: write so the wrong path rolls back without any deepcopy.
+        self._journal = None
 
     # ------------------------------------------------------------------
     # introspection
@@ -99,6 +103,8 @@ class HfiState:
 
     def restore(self, saved: HfiRegisterFile) -> None:
         """For xrstor.  Traps if executed inside a native sandbox."""
+        if self._journal is not None:
+            self._journal.snapshot_hfi(self)
         if self.regs.locked:
             raise HfiFault(FaultCause.XRSTOR_IN_SANDBOX)
         self.regs.restore(saved)
@@ -114,6 +120,8 @@ class HfiState:
         is disabled no serialization is needed because an hfi_enter
         (which may serialize) always follows before checks take effect.
         """
+        if self._journal is not None:
+            self._journal.snapshot_hfi(self)
         if self.regs.locked:
             raise HfiFault(FaultCause.REGION_LOCKED)
         self.regs.set(number, region)
@@ -133,6 +141,8 @@ class HfiState:
         return self.regs.get(number), self.params.hfi_clear_region_cycles
 
     def clear_region(self, number: int) -> int:
+        if self._journal is not None:
+            self._journal.snapshot_hfi(self)
         if self.regs.locked:
             raise HfiFault(FaultCause.REGION_LOCKED)
         self.regs.set(number, None)
@@ -143,6 +153,8 @@ class HfiState:
         return cost
 
     def clear_all_regions(self) -> int:
+        if self._journal is not None:
+            self._journal.snapshot_hfi(self)
         if self.regs.locked:
             raise HfiFault(FaultCause.REGION_LOCKED)
         self.regs.clear_all()
@@ -164,6 +176,8 @@ class HfiState:
         serialize; otherwise ``is_serialized`` adds a full pipeline
         drain (§3.4).
         """
+        if self._journal is not None:
+            self._journal.snapshot_hfi(self)
         cost = self.params.hfi_enter_cycles
         self.enters += 1
         if flags.switch_on_exit:
@@ -212,6 +226,8 @@ class HfiState:
         return outcome
 
     def _leave(self, cause: FaultCause) -> ExitOutcome:
+        if self._journal is not None:
+            self._journal.snapshot_hfi(self)
         flags = self.regs.flags
         self.exits += 1
         self.regs.cause_msr = cause
@@ -241,6 +257,8 @@ class HfiState:
         native sandbox: restoring the last-exited bank would rewrite
         the (frozen) region registers from inside untrusted code.
         """
+        if self._journal is not None:
+            self._journal.snapshot_hfi(self)
         if self.regs.locked:
             raise HfiFault(FaultCause.REGION_LOCKED)
         if self._reenter_bank is None:

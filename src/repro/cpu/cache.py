@@ -63,8 +63,10 @@ class Cache:
 
     def access(self, addr: int) -> bool:
         """Access a line: returns True on hit.  Fills on miss."""
-        set_idx, tag = self._locate(addr)
-        ways = self._sets[set_idx]
+        line = addr // self.line_bytes          # _locate, inlined: this
+        n_sets = self.n_sets                    # runs once per simulated
+        tag = line // n_sets                    # memory access
+        ways = self._sets[line % n_sets]
         if tag in ways:
             # refresh LRU position
             del ways[tag]

@@ -17,34 +17,52 @@ The model keeps exactly the properties the paper's evaluation rests on:
   update (speculative or not), ``hmov`` resolves through explicit
   regions, and syscalls in native sandboxes become jumps to the exit
   handler (§4).
+
+Since the staged-engine refactor this module holds only the pipeline
+*skeleton*: the commit loop, the speculation window, fault delivery,
+and the data-memory path.  Instruction semantics live in the exec
+units (:mod:`.exec_alu`, :mod:`.exec_mem`, :mod:`.exec_control`,
+:mod:`.exec_system`, :mod:`.exec_hfi`), reached through predecoded
+handlers (:mod:`.decode`); cycle charging flows through the timing
+seam (:mod:`.timing`); and wrong-path squash is an undo log
+(:mod:`.journal`) rather than a deepcopy snapshot.
 """
 
 from __future__ import annotations
 
-import copy
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from ..core.encoding import decode_region, decode_sandbox, encode_region
+from ..core.checks import implicit_code_check
 from ..core.faults import FaultCause, HfiFault
 from ..core.regions import RegionError
 from ..core.state import HfiState
 from ..isa.instruction import Instruction, Program
-from ..isa.opcodes import (
-    CONDITIONAL_JUMPS,
-    HMOV_REGION,
-    Opcode,
-)
 from ..isa.operands import Imm, Mem
-from ..isa.registers import MASK64, Reg, RegisterFile, to_signed
+from ..isa.registers import MASK64, Reg, RegisterFile
 from ..os.address_space import AccessKind, AddressSpace, PageFault
 from ..os.kernel import Kernel
 from ..os.process import Process
 from ..params import DEFAULT_PARAMS, MachineParams
 from ..telemetry.sink import Telemetry, coalesce
+from ..telemetry.stats import DecodeCacheStats
 from .cache import CacheHierarchy
+from .decode import CodeMap, DecodedOp, _StopSpeculation, decode_one, \
+    decode_program
+from .journal import SpeculationJournal
 from .predictors import BranchTargetBuffer, PatternHistoryTable, ReturnStackBuffer
+from .timing import TimingModel
 from .tlb import Tlb
+
+_READ = AccessKind.READ
+_WRITE = AccessKind.WRITE
+
+# Importing the exec units populates the decode.DECODERS table.
+from . import exec_alu     # noqa: F401  (registers ALU handlers)
+from . import exec_control  # noqa: F401  (registers branch handlers)
+from . import exec_hfi     # noqa: F401  (registers HFI handlers)
+from . import exec_mem     # noqa: F401  (registers data-movement handlers)
+from . import exec_system  # noqa: F401  (registers system handlers)
 
 
 @dataclass
@@ -88,10 +106,6 @@ class RunResult:
         return self.stats.cycles
 
 
-class _StopSpeculation(Exception):
-    """Internal: the wrong path hit a squash point."""
-
-
 class Cpu:
     """A single simulated core."""
 
@@ -117,7 +131,16 @@ class Cpu:
         self.btb = BranchTargetBuffer()
         self.rsb = ReturnStackBuffer()
         self.stats = CpuStats()
-        self._code: Dict[int, Instruction] = {}
+        #: Ready-to-run predecoded ops, keyed by mapped address.
+        self._decoded: Dict[int, DecodedOp] = {}
+        #: Raw instruction map; writes invalidate ``_decoded`` entries.
+        self._code: Dict[int, Instruction] = CodeMap(self._decoded)
+        self._predecoded = 0
+        self._lazy_decodes = 0
+        #: The timing seam — all cycle charging by the exec layer.
+        self.timing = TimingModel(self)
+        #: Undo log for wrong-path squash (no deepcopy anywhere).
+        self._journal = SpeculationJournal()
         self._speculative = False
         self._store_buffer: Dict[int, int] = {}
         self._xsave_areas: Dict[int, Tuple[RegisterFile, object, int]] = {}
@@ -148,16 +171,46 @@ class Cpu:
                              ("dtlb", self.tlb.stats),
                              ("pht", self.pht.stats),
                              ("btb", self.btb.stats),
-                             ("rsb", self.rsb.stats)):
+                             ("rsb", self.rsb.stats),
+                             ("decode", self.decode_stats),
+                             ("journal", self._journal.stats)):
                 self.telemetry.register_component(name, fn)
+
+    def decode_stats(self) -> DecodeCacheStats:
+        """Predecode-cache counters (``repro.telemetry`` surface)."""
+        executed = (self.stats.instructions
+                    + self.stats.speculative_instructions)
+        return DecodeCacheStats(
+            component="decode", predecoded=self._predecoded,
+            lazy_decodes=self._lazy_decodes,
+            invalidations=self._code.invalidations,
+            cached_ops=len(self._decoded), executed=executed)
 
     # ------------------------------------------------------------------
     # program loading
     # ------------------------------------------------------------------
     def load_program(self, program: Program) -> None:
-        """Map a program's instructions at their laid-out addresses."""
+        """Map a program's instructions at their laid-out addresses.
+
+        The program is predecoded once (cached on the Program object),
+        so repeated loads — and multiple cores sharing a program —
+        reuse the same DecodedOps.
+        """
+        decoded = decode_program(program)
         for ins in program.instructions:
             self._code[ins.addr] = ins
+        self._decoded.update(decoded)
+        self._predecoded += len(decoded)
+
+    def _decode_at(self, pc: int) -> Optional[DecodedOp]:
+        """Lazy decode for instructions patched in via ``_code``."""
+        ins = self._code.get(pc)
+        if ins is None:
+            return None
+        dop = decode_one(ins, pc)
+        self._decoded[pc] = dop
+        self._lazy_decodes += 1
+        return dop
 
     # ------------------------------------------------------------------
     # top-level run loop
@@ -175,53 +228,90 @@ class Cpu:
         self._halted = False
         self._fault = None
         executed = 0
+        # Hot-loop bindings: none of these objects are ever rebound on
+        # a live core (regs/hfi identity is stable since the journal
+        # replaced snapshot-swap speculation).
+        regs = self.regs
+        stats = self.stats
+        decoded = self._decoded
+        fetch = self.timing.fetch
+        hfi_regs = self.hfi.regs
+        tracer = self.tracer
+        base_cycles = self.params.base_cycles
+        # l1i hit fast path, inlined (the one cache probe made on every
+        # single instruction); misses fall back to the full hierarchy.
+        l1i = self.caches.l1i
+        l1i_sets = l1i._sets
+        l1i_line = l1i.line_bytes
+        l1i_nsets = l1i.n_sets
+        l1i_hit_cycles = self.params.l1i_hit_cycles
         while executed < max_instructions:
             if self._halted:
-                return RunResult("hlt", self.stats, rip=self.regs.rip)
+                return RunResult("hlt", stats, rip=regs.rip)
             if self._fault is not None:
                 fault, self._fault = self._fault, None
                 if self.fault_resume_address is not None:
-                    self.regs.rip = self.fault_resume_address
+                    regs.rip = self.fault_resume_address
                     continue
-                return RunResult("fault", self.stats, fault=fault,
-                                 rip=self.regs.rip)
-            status = self._commit_one()
-            if status is not None:
-                return status
+                return RunResult("fault", stats, fault=fault, rip=regs.rip)
+            pc = regs.rip
+            # HFI code-region check happens at decode, before execution
+            # and before any micro-op enters the pipeline (§4.1).
+            # (``hfi_regs.code`` is re-read per fetch: enter/restore
+            # rebind the list.)
+            if hfi_regs.enabled:
+                try:
+                    implicit_code_check(hfi_regs.code, pc)
+                except HfiFault as fault:
+                    self._raise_fault(fault)
+                    executed += 1
+                    continue
+            line = pc // l1i_line
+            ways = l1i_sets[line % l1i_nsets]
+            tag = line // l1i_nsets
+            if tag in ways:
+                del ways[tag]
+                ways[tag] = True
+                l1i._hits += 1
+                fetch_cycles = l1i_hit_cycles
+            else:
+                fetch_cycles = fetch(pc)
+            dop = decoded.get(pc)
+            if dop is None:
+                dop = self._decode_at(pc)
+                if dop is None:
+                    stats.cycles += fetch_cycles
+                    return RunResult("no_instruction", stats, rip=pc)
+            stats.instructions += 1
+            stats.cycles += fetch_cycles + base_cycles
+            if tracer is not None:
+                tracer.record(pc, dop.ins, hfi_regs.enabled)
+            try:
+                dop.run(self)
+            except HfiFault as fault:
+                self._raise_fault(fault)
+            except PageFault as fault:
+                self._raise_page_fault(fault)
+            except RegionError as err:
+                self._raise_fault(HfiFault(FaultCause.HARDWARE_TRAP,
+                                           detail=str(err)))
             executed += 1
-        return RunResult("instruction_limit", self.stats, rip=self.regs.rip)
+        # The budget ran out with the last instruction's outcome still
+        # pending — resolve it instead of silently dropping it (a halt
+        # is a halt, and a fault must not vanish into a limit result).
+        if self._halted:
+            return RunResult("hlt", stats, rip=regs.rip)
+        if self._fault is not None:
+            fault, self._fault = self._fault, None
+            if self.fault_resume_address is not None:
+                regs.rip = self.fault_resume_address
+                return RunResult("instruction_limit", stats, rip=regs.rip)
+            return RunResult("fault", stats, fault=fault, rip=regs.rip)
+        return RunResult("instruction_limit", stats, rip=regs.rip)
 
     # ------------------------------------------------------------------
-    # committed execution
+    # fault delivery
     # ------------------------------------------------------------------
-    def _commit_one(self) -> Optional[RunResult]:
-        pc = self.regs.rip
-        # HFI code-region check happens at decode, before execution and
-        # before any micro-op enters the pipeline (§4.1).
-        try:
-            self.hfi.check_code_fetch(pc)
-        except HfiFault as fault:
-            self._raise_fault(fault)
-            return None
-        self.stats.cycles += self.caches.fetch_access(pc)
-        ins = self._code.get(pc)
-        if ins is None:
-            return RunResult("no_instruction", self.stats, rip=pc)
-        self.stats.instructions += 1
-        self.stats.cycles += self.params.base_cycles
-        if self.tracer is not None:
-            self.tracer.record(pc, ins, self.hfi.enabled)
-        try:
-            self._dispatch(ins, pc)
-        except HfiFault as fault:
-            self._raise_fault(fault)
-        except PageFault as fault:
-            self._raise_page_fault(fault)
-        except RegionError as err:
-            self._raise_fault(HfiFault(FaultCause.HARDWARE_TRAP,
-                                       detail=str(err)))
-        return None
-
     def _raise_fault(self, fault: HfiFault) -> None:
         """An HFI violation at commit: disable sandbox, set MSR, SIGSEGV."""
         self.stats.hfi_faults += 1
@@ -264,35 +354,44 @@ class Cpu:
     def _speculate(self, wrong_path: int) -> None:
         """Run the mispredicted path in shadow state, then squash.
 
-        Register writes and stores are discarded; cache and TLB fills
-        are not — faithfully creating (and letting HFI close) the
-        Spectre channel.
+        Register writes and stores are discarded (via the undo journal
+        and the store buffer); cache and TLB fills are not — faithfully
+        creating (and letting HFI close) the Spectre channel.
         """
-        saved_regs = self.regs.copy()
-        saved_hfi = copy.deepcopy(self.hfi)
-        saved_pkru = self.process.pkru if self.process else 0
+        journal = self._journal
+        journal.open(self)
         self._speculative = True
         self._store_buffer = {}
-        self.regs.rip = wrong_path
+        regs = self.regs
+        stats = self.stats
+        decoded = self._decoded
+        fetch = self.timing.fetch
+        hfi_regs = self.hfi.regs
+        check_fetch = self.hfi.check_code_fetch
+        tracer = self.tracer
+        regs.rip = wrong_path
         try:
             for _ in range(self.params.speculation_window):
-                pc = self.regs.rip
+                pc = regs.rip
+                if hfi_regs.enabled:
+                    try:
+                        check_fetch(pc)
+                    except HfiFault:
+                        # decode turns the micro-ops into a faulting
+                        # NOP; nothing out-of-bounds executes (§4.1).
+                        break
+                fetch(pc)
+                dop = decoded.get(pc)
+                if dop is None:
+                    dop = self._decode_at(pc)
+                    if dop is None:
+                        break
+                stats.speculative_instructions += 1
+                if tracer is not None:
+                    tracer.record(pc, dop.ins, hfi_regs.enabled,
+                                  speculative=True)
                 try:
-                    self.hfi.check_code_fetch(pc)
-                except HfiFault:
-                    # decode turns the micro-ops into a faulting NOP;
-                    # nothing out-of-bounds executes, even here (§4.1).
-                    break
-                self.caches.fetch_access(pc)
-                ins = self._code.get(pc)
-                if ins is None:
-                    break
-                self.stats.speculative_instructions += 1
-                if self.tracer is not None:
-                    self.tracer.record(pc, ins, self.hfi.enabled,
-                                       speculative=True)
-                try:
-                    self._dispatch(ins, pc)
+                    dop.run(self)
                 except (HfiFault, PageFault, RegionError):
                     break  # squashed fault: no architectural effect
         except _StopSpeculation:
@@ -300,11 +399,7 @@ class Cpu:
         finally:
             self._speculative = False
             self._store_buffer = {}
-            self.regs = saved_regs
-            self.hfi = saved_hfi
-            if self.process is not None:
-                self.process.pkru = saved_pkru
-                self.process.hfi_state = self.hfi
+            journal.rollback(self)
 
     # ------------------------------------------------------------------
     # memory path
@@ -318,10 +413,7 @@ class Cpu:
         return ea & MASK64
 
     def _charge_mem(self, ea: int) -> None:
-        tlb_cost = self.tlb.access(ea)
-        cache_cost = self.caches.data_access(ea)
-        if not self._speculative:
-            self.stats.cycles += tlb_cost + cache_cost
+        self.timing.mem_access(ea)
 
     def _check_pkey(self, ea: int, size: int, kind: AccessKind):
         vma = self.mem.check_access(ea, size, kind)
@@ -332,6 +424,60 @@ class Cpu:
                 raise PageFault(ea, kind, f"pkey {vma.pkey} denied")
         return vma
 
+    def _load_ea(self, ea: int, size: int) -> int:
+        """Data load at a resolved (and HFI-checked) address."""
+        # _check_pkey, inlined (once per load): the common case is no
+        # pkey restriction on the touched VMA.
+        vma = self.mem.check_access(ea, size, _READ)
+        if self.enforce_pkeys and vma.pkey:
+            process = self.process
+            if process is not None and process.pkru:
+                bits = (process.pkru >> (2 * vma.pkey)) & 0b11
+                if bits & 0b01:
+                    raise PageFault(ea, _READ, f"pkey {vma.pkey} denied")
+        self.timing.mem_access(ea)
+        self.stats.loads += 1
+        value = self.mem.read(ea, size, check=False)
+        if self._speculative and self._store_buffer:
+            data = bytearray(value.to_bytes(size, "little"))
+            buffer = self._store_buffer
+            for i in range(size):
+                buffered = buffer.get(ea + i)
+                if buffered is not None:
+                    data[i] = buffered
+            value = int.from_bytes(bytes(data), "little")
+        return value
+
+    def _store_ea(self, ea: int, size: int, value: int) -> None:
+        """Data store at a resolved (and HFI-checked) address."""
+        vma = self.mem.check_access(ea, size, _WRITE)
+        if self.enforce_pkeys and vma.pkey:
+            process = self.process
+            if process is not None and process.pkru:
+                bits = (process.pkru >> (2 * vma.pkey)) & 0b11
+                if bits & 0b11:
+                    raise PageFault(ea, _WRITE,
+                                    f"pkey {vma.pkey} denied")
+        self.timing.mem_access(ea)
+        self.stats.stores += 1
+        if self._speculative:
+            data = (value & ((1 << (8 * size)) - 1)).to_bytes(
+                size, "little")
+            buffer = self._store_buffer
+            for i, byte in enumerate(data):
+                buffer[ea + i] = byte
+        else:
+            self.mem.write(ea, value, size, check=False)
+
+    def _wreg(self, reg: Reg, value: int) -> None:
+        """Journaled GPR write — the exec layer's only register-write
+        path besides the decode-time writer closures."""
+        if self._speculative:
+            self._journal.entries.append((reg, self.regs.regs[reg]))
+        self.regs.regs[reg] = value & MASK64
+
+    # Operand-level compat wrappers (the exec layer uses decode-time
+    # accessor closures instead; these remain for external callers).
     def _load(self, mem: Mem, hmov_region: Optional[int] = None) -> int:
         if hmov_region is not None:
             index_val = (self.regs.read(mem.index)
@@ -341,18 +487,7 @@ class Cpu:
         else:
             ea = self._effective_address(mem)
             self.hfi.check_data_access(ea, mem.size, is_write=False)
-        self._check_pkey(ea, mem.size, AccessKind.READ)
-        self._charge_mem(ea)
-        self.stats.loads += 1
-        value = self.mem.read(ea, mem.size, check=False)
-        if self._speculative and self._store_buffer:
-            data = bytearray(value.to_bytes(mem.size, "little"))
-            for i in range(mem.size):
-                buffered = self._store_buffer.get(ea + i)
-                if buffered is not None:
-                    data[i] = buffered
-            value = int.from_bytes(bytes(data), "little")
-        return value
+        return self._load_ea(ea, mem.size)
 
     def _store(self, mem: Mem, value: int,
                hmov_region: Optional[int] = None) -> None:
@@ -364,16 +499,7 @@ class Cpu:
         else:
             ea = self._effective_address(mem)
             self.hfi.check_data_access(ea, mem.size, is_write=True)
-        self._check_pkey(ea, mem.size, AccessKind.WRITE)
-        self._charge_mem(ea)
-        self.stats.stores += 1
-        if self._speculative:
-            data = (value & ((1 << (8 * mem.size)) - 1)).to_bytes(
-                mem.size, "little")
-            for i, byte in enumerate(data):
-                self._store_buffer[ea + i] = byte
-        else:
-            self.mem.write(ea, value, mem.size, check=False)
+        self._store_ea(ea, mem.size, value)
 
     def _read_operand(self, op, hmov_region: Optional[int] = None) -> int:
         if isinstance(op, Reg):
@@ -393,500 +519,6 @@ class Cpu:
         else:
             raise TypeError(f"unwritable operand {op!r}")
 
-    # ------------------------------------------------------------------
-    # ALU helpers
-    # ------------------------------------------------------------------
-    def _set_logic_flags(self, result: int) -> None:
-        flags = self.regs.flags
-        flags.zf = result == 0
-        flags.sf = bool(result >> 63)
-        flags.cf = False
-        flags.of = False
-
-    def _set_add_flags(self, a: int, b: int, result_wide: int) -> None:
-        flags = self.regs.flags
-        result = result_wide & MASK64
-        flags.zf = result == 0
-        flags.sf = bool(result >> 63)
-        flags.cf = result_wide > MASK64
-        flags.of = (to_signed(a) + to_signed(b)) != to_signed(result)
-
-    def _set_sub_flags(self, a: int, b: int) -> None:
-        flags = self.regs.flags
-        result = (a - b) & MASK64
-        flags.zf = result == 0
-        flags.sf = bool(result >> 63)
-        flags.cf = a < b
-        flags.of = (to_signed(a) - to_signed(b)) != to_signed(result)
-
-    def _cond(self, opcode: Opcode) -> bool:
-        flags = self.regs.flags
-        if opcode is Opcode.JE:
-            return flags.zf
-        if opcode is Opcode.JNE:
-            return not flags.zf
-        if opcode is Opcode.JL:
-            return flags.sf != flags.of
-        if opcode is Opcode.JGE:
-            return flags.sf == flags.of
-        if opcode is Opcode.JLE:
-            return flags.zf or flags.sf != flags.of
-        if opcode is Opcode.JG:
-            return not flags.zf and flags.sf == flags.of
-        if opcode is Opcode.JB:
-            return flags.cf
-        if opcode is Opcode.JAE:
-            return not flags.cf
-        if opcode is Opcode.JBE:
-            return flags.cf or flags.zf
-        if opcode is Opcode.JA:
-            return not flags.cf and not flags.zf
-        raise ValueError(f"not a condition: {opcode}")
-
-    # ------------------------------------------------------------------
-    # the big dispatch
-    # ------------------------------------------------------------------
     def _dispatch(self, ins: Instruction, pc: int) -> None:
-        opcode = ins.opcode
-        next_rip = pc + ins.length
-        self.regs.rip = next_rip
-        ops = ins.operands
-
-        # --- data movement ---
-        if opcode is Opcode.MOV:
-            value = self._read_operand(ops[1])
-            self._write_operand(ops[0], value)
-            return
-        if opcode in HMOV_REGION:
-            region = HMOV_REGION[opcode]
-            if self.params.hmov_extra_cycles and not self._speculative:
-                self.stats.cycles += self.params.hmov_extra_cycles
-            if isinstance(ops[1], Mem):       # load
-                value = self._read_operand(ops[1], hmov_region=region)
-                self._write_operand(ops[0], value)
-            else:                             # store
-                value = self._read_operand(ops[1])
-                self._write_operand(ops[0], value, hmov_region=region)
-            return
-        if opcode is Opcode.LEA:
-            self.regs.write(ops[0], self._effective_address(ops[1]))
-            return
-        if opcode is Opcode.PUSH:
-            value = self._read_operand(ops[0])
-            rsp = (self.regs.read(Reg.RSP) - 8) & MASK64
-            self.regs.write(Reg.RSP, rsp)
-            self._store(Mem(base=Reg.RSP, size=8), value)
-            return
-        if opcode is Opcode.POP:
-            value = self._load(Mem(base=Reg.RSP, size=8))
-            self.regs.write(Reg.RSP, (self.regs.read(Reg.RSP) + 8) & MASK64)
-            self._write_operand(ops[0], value)
-            return
-
-        # --- ALU ---
-        if opcode is Opcode.ADD:
-            a = self._read_operand(ops[0])
-            b = self._read_operand(ops[1])
-            wide = a + b
-            self._set_add_flags(a, b, wide)
-            self._write_operand(ops[0], wide & MASK64)
-            return
-        if opcode is Opcode.SUB:
-            a = self._read_operand(ops[0])
-            b = self._read_operand(ops[1])
-            self._set_sub_flags(a, b)
-            self._write_operand(ops[0], (a - b) & MASK64)
-            return
-        if opcode in (Opcode.AND, Opcode.OR, Opcode.XOR):
-            a = self._read_operand(ops[0])
-            b = self._read_operand(ops[1])
-            if opcode is Opcode.AND:
-                result = a & b
-            elif opcode is Opcode.OR:
-                result = a | b
-            else:
-                result = a ^ b
-            self._set_logic_flags(result)
-            self._write_operand(ops[0], result)
-            return
-        if opcode is Opcode.NOT:
-            self._write_operand(ops[0], ~self._read_operand(ops[0]) & MASK64)
-            return
-        if opcode is Opcode.NEG:
-            value = (-self._read_operand(ops[0])) & MASK64
-            self._set_logic_flags(value)
-            self.regs.flags.cf = value != 0
-            self._write_operand(ops[0], value)
-            return
-        if opcode in (Opcode.SHL, Opcode.SHR, Opcode.SAR):
-            a = self._read_operand(ops[0])
-            count = self._read_operand(ops[1]) & 63
-            if opcode is Opcode.SHL:
-                result = (a << count) & MASK64
-            elif opcode is Opcode.SHR:
-                result = a >> count
-            else:
-                result = (to_signed(a) >> count) & MASK64
-            self._set_logic_flags(result)
-            self._write_operand(ops[0], result)
-            return
-        if opcode is Opcode.IMUL:
-            a = self._read_operand(ops[0])
-            b = self._read_operand(ops[1])
-            result = (to_signed(a) * to_signed(b)) & MASK64
-            self._set_logic_flags(result)
-            self._write_operand(ops[0], result)
-            if not self._speculative:
-                self.stats.cycles += self.params.mul_cycles - 1
-            return
-        if opcode in (Opcode.IDIV, Opcode.IMOD):
-            a = to_signed(self._read_operand(ops[0]))
-            b = to_signed(self._read_operand(ops[1]))
-            if b == 0:
-                raise PageFault(pc, AccessKind.EXEC, "division by zero")
-            quotient = int(a / b)          # truncate toward zero (x86)
-            remainder = a - quotient * b
-            result = (quotient if opcode is Opcode.IDIV else remainder)
-            result &= MASK64
-            self._set_logic_flags(result)
-            self._write_operand(ops[0], result)
-            if not self._speculative:
-                self.stats.cycles += self.params.div_cycles - 1
-            return
-        if opcode is Opcode.CMP:
-            a = self._read_operand(ops[0])
-            b = self._read_operand(ops[1])
-            self._set_sub_flags(a, b)
-            return
-        if opcode is Opcode.TEST:
-            self._set_logic_flags(self._read_operand(ops[0])
-                                  & self._read_operand(ops[1]))
-            return
-        if opcode is Opcode.INC:
-            a = self._read_operand(ops[0])
-            self._set_add_flags(a, 1, a + 1)
-            self._write_operand(ops[0], (a + 1) & MASK64)
-            return
-        if opcode is Opcode.DEC:
-            a = self._read_operand(ops[0])
-            self._set_sub_flags(a, 1)
-            self._write_operand(ops[0], (a - 1) & MASK64)
-            return
-
-        # --- control flow ---
-        if opcode in CONDITIONAL_JUMPS:
-            self._conditional_jump(ins, pc, next_rip)
-            return
-        if opcode is Opcode.JMP:
-            self._jump(ins, pc)
-            return
-        if opcode is Opcode.CALL:
-            self._call(ins, pc, next_rip)
-            return
-        if opcode is Opcode.RET:
-            self._ret(pc)
-            return
-
-        # --- system ---
-        if opcode in (Opcode.SYSCALL, Opcode.INT80):
-            self._syscall(opcode is Opcode.INT80, next_rip)
-            return
-        if opcode is Opcode.CPUID:
-            self._serialize()
-            return
-        if opcode is Opcode.LFENCE:
-            self._serialize(cost=self.params.serialize_drain_cycles // 2)
-            return
-        if opcode is Opcode.CLFLUSH:
-            ea = self._effective_address(ops[0])
-            self.caches.flush_line(ea)
-            if not self._speculative:
-                self.stats.cycles += self.params.clflush_cycles
-            return
-        if opcode is Opcode.RDTSC:
-            self.stats.cycles += self.params.rdtsc_cycles
-            self.regs.write(Reg.RAX, self.stats.cycles & MASK64)
-            self.regs.write(Reg.RDX, 0)
-            return
-        if opcode is Opcode.NOP:
-            return
-        if opcode is Opcode.HLT:
-            if self._speculative:
-                raise _StopSpeculation()
-            self._halted = True
-            return
-        if opcode is Opcode.XSAVE:
-            self._xsave(ops[0])
-            return
-        if opcode is Opcode.XRSTOR:
-            self._xrstor(ops[0])
-            return
-        if opcode is Opcode.WRPKRU:
-            if self._speculative:
-                raise _StopSpeculation()  # wrpkru is not speculated past
-            if self.process is not None:
-                self.process.pkru = self.regs.read(Reg.RAX) & 0xFFFF_FFFF
-            self.stats.cycles += self.params.wrpkru_cycles
-            return
-        if opcode is Opcode.RDPKRU:
-            pkru = self.process.pkru if self.process is not None else 0
-            self.regs.write(Reg.RAX, pkru)
-            if not self._speculative:
-                self.stats.cycles += self.params.rdpkru_cycles
-            return
-
-        # --- HFI ---
-        if opcode is Opcode.HFI_ENTER:
-            self._hfi_enter(ops[0])
-            return
-        if opcode is Opcode.HFI_EXIT:
-            self._hfi_exit()
-            return
-        if opcode is Opcode.HFI_REENTER:
-            cost = self.hfi.reenter()
-            if not self._speculative:
-                self.stats.cycles += cost
-                if self.telemetry.enabled:
-                    self.telemetry.count("cpu.hfi_reenter")
-                    self.telemetry.begin_span("hfi.sandbox",
-                                              self.stats.cycles,
-                                              reenter=True)
-            return
-        if opcode is Opcode.HFI_SET_REGION:
-            self._hfi_set_region(ops[0].value, ops[1])
-            return
-        if opcode is Opcode.HFI_GET_REGION:
-            self._hfi_get_region(ops[0].value, ops[1])
-            return
-        if opcode is Opcode.HFI_CLEAR_REGION:
-            cost = self.hfi.clear_region(ops[0].value)
-            if not self._speculative:
-                self.stats.cycles += cost
-            return
-        if opcode is Opcode.HFI_CLEAR_ALL_REGIONS:
-            cost = self.hfi.clear_all_regions()
-            if not self._speculative:
-                self.stats.cycles += cost
-            return
-
-        raise NotImplementedError(f"opcode {opcode} not implemented")
-
-    # ------------------------------------------------------------------
-    # control flow with prediction
-    # ------------------------------------------------------------------
-    def _conditional_jump(self, ins: Instruction, pc: int,
-                          next_rip: int) -> None:
-        taken = self._cond(ins.opcode)
-        target = ins.operands[0].value
-        if self._speculative:
-            # No nested speculation windows; resolve architecturally.
-            self.regs.rip = target if taken else next_rip
-            return
-        self.stats.branches += 1
-        predicted = self.pht.predict(pc)
-        self.pht.update(pc, taken)
-        if predicted != taken:
-            self.stats.mispredicts += 1
-            self.stats.cycles += self.params.branch_mispredict_penalty
-            wrong_path = target if predicted else next_rip
-            self.regs.rip = wrong_path
-            self._speculate(wrong_path)
-            # _speculate restored self.regs
-        self.regs.rip = target if taken else next_rip
-
-    def _jump(self, ins: Instruction, pc: int) -> None:
-        op = ins.operands[0]
-        if isinstance(op, Imm):
-            self.regs.rip = op.value
-            return
-        # indirect jump: BTB-predicted
-        actual = self.regs.read(op)
-        if self._speculative:
-            self.regs.rip = actual
-            return
-        self.stats.branches += 1
-        predicted = self.btb.predict(pc)
-        self.btb.update(pc, actual)
-        if predicted is None or predicted != actual:
-            self.stats.mispredicts += 1
-            self.stats.cycles += self.params.branch_mispredict_penalty
-            if predicted is not None:
-                self.regs.rip = predicted
-                self._speculate(predicted)
-        self.regs.rip = actual
-
-    def _call(self, ins: Instruction, pc: int, next_rip: int) -> None:
-        op = ins.operands[0]
-        rsp = (self.regs.read(Reg.RSP) - 8) & MASK64
-        self.regs.write(Reg.RSP, rsp)
-        self._store(Mem(base=Reg.RSP, size=8), next_rip)
-        if not self._speculative:
-            self.rsb.push(next_rip)
-        if isinstance(op, Imm):
-            self.regs.rip = op.value
-            return
-        actual = self.regs.read(op)
-        if self._speculative:
-            self.regs.rip = actual
-            return
-        self.stats.branches += 1
-        predicted = self.btb.predict(pc)
-        self.btb.update(pc, actual)
-        if predicted is None or predicted != actual:
-            self.stats.mispredicts += 1
-            self.stats.cycles += self.params.branch_mispredict_penalty
-            if predicted is not None:
-                self.regs.rip = predicted
-                self._speculate(predicted)
-        self.regs.rip = actual
-
-    def _ret(self, pc: int) -> None:
-        actual = self._load(Mem(base=Reg.RSP, size=8))
-        self.regs.write(Reg.RSP, (self.regs.read(Reg.RSP) + 8) & MASK64)
-        if self._speculative:
-            self.regs.rip = actual
-            return
-        self.stats.branches += 1
-        predicted = self.rsb.pop()
-        if predicted is None or predicted != actual:
-            self.stats.mispredicts += 1
-            self.stats.cycles += self.params.branch_mispredict_penalty
-            if predicted is not None:
-                self.regs.rip = predicted
-                self._speculate(predicted)
-        self.regs.rip = actual
-
-    # ------------------------------------------------------------------
-    # system interactions
-    # ------------------------------------------------------------------
-    def _serialize(self, cost: Optional[int] = None) -> None:
-        if self._speculative:
-            raise _StopSpeculation()
-        self.stats.cycles += (cost if cost is not None
-                              else self.params.serialize_drain_cycles)
-        self.stats.serializations += 1
-        self.telemetry.count("cpu.serialization")
-
-    def _syscall(self, legacy: bool, next_rip: int) -> None:
-        if self._speculative:
-            raise _StopSpeculation()
-        nr = self.regs.read(Reg.RAX)
-        outcome = self.hfi.syscall_attempt(nr, legacy=legacy)
-        if outcome is not None:
-            # Native sandbox: the syscall became a jump to the exit
-            # handler (§4.4); the cause MSR already says which call.
-            self.stats.interposed_syscalls += 1
-            self.stats.cycles += outcome.cycles
-            if self.telemetry.enabled:
-                self.telemetry.count("cpu.syscall.interposed")
-                self.telemetry.event("syscall.interposed",
-                                     self.stats.cycles, nr=nr)
-                self.telemetry.end_span(self.stats.cycles,
-                                        name="hfi.sandbox",
-                                        reason="syscall")
-            if outcome.redirect_to is not None:
-                self.regs.rip = outcome.redirect_to
-            return
-        self.stats.syscalls += 1
-        if self.telemetry.enabled:
-            self.telemetry.count("cpu.syscall")
-        if self.kernel is not None and self.process is not None:
-            result = self.kernel.syscall(
-                self.process, nr,
-                self.regs.read(Reg.RDI), self.regs.read(Reg.RSI),
-                self.regs.read(Reg.RDX))
-            self.regs.write(Reg.RAX, result.value & MASK64)
-            self.stats.cycles += result.cycles
-        else:
-            self.stats.cycles += self.params.syscall_cycles
-
-    def _xsave(self, mem: Mem) -> None:
-        ea = self._effective_address(mem)
-        if not self._speculative:
-            pkru = self.process.pkru if self.process is not None else 0
-            self._xsave_areas[ea] = (self.regs.copy(), self.hfi.snapshot(),
-                                     pkru)
-            self.stats.cycles += (self.params.xsave_cycles
-                                  + self.params.xsave_hfi_extra_cycles)
-
-    def _xrstor(self, mem: Mem) -> None:
-        if self._speculative:
-            raise _StopSpeculation()
-        ea = self._effective_address(mem)
-        area = self._xsave_areas.get(ea)
-        if area is None:
-            raise PageFault(ea, AccessKind.READ, "xrstor from bad area")
-        saved_regs, hfi_bank, pkru = area
-        # Traps inside a native sandbox (§3.3.3).
-        self.hfi.restore(hfi_bank)
-        rip = self.regs.rip
-        self.regs = saved_regs.copy()
-        self.regs.rip = rip
-        if self.process is not None:
-            self.process.pkru = pkru
-        self.stats.cycles += (self.params.xrstor_cycles
-                              + self.params.xsave_hfi_extra_cycles)
-
-    # ------------------------------------------------------------------
-    # HFI instructions
-    # ------------------------------------------------------------------
-    def _descriptor_read(self, ptr: int, nbytes: int) -> bytes:
-        """Microcode loads of descriptor words (charged as L1 hits)."""
-        if not self._speculative:
-            self.stats.cycles += (nbytes // 8) * (
-                self.params.base_cycles + self.params.l1d_hit_cycles)
-        return self.mem.read_bytes(ptr, nbytes, check=False)
-
-    def _hfi_enter(self, descriptor_reg: Reg) -> None:
-        ptr = self.regs.read(descriptor_reg)
-        from ..core.encoding import SANDBOX_DESCRIPTOR_BYTES
-        flags, handler = decode_sandbox(
-            self._descriptor_read(ptr, SANDBOX_DESCRIPTOR_BYTES))
-        if self._speculative and flags.is_serialized:
-            raise _StopSpeculation()
-        cost = self.hfi.enter(flags, handler)
-        if not self._speculative:
-            self.stats.cycles += cost
-            self.stats.serializations += 1 if flags.is_serialized else 0
-            if self.telemetry.enabled:
-                self.telemetry.count("cpu.hfi_enter")
-                self.telemetry.begin_span(
-                    "hfi.sandbox", self.stats.cycles,
-                    serialized=flags.is_serialized,
-                    hybrid=flags.is_hybrid)
-
-    def _hfi_exit(self) -> None:
-        if self._speculative and self.hfi.flags.is_serialized:
-            # A serialized exit cannot be speculated past (§3.4).
-            raise _StopSpeculation()
-        outcome = self.hfi.exit()
-        if not self._speculative:
-            self.stats.cycles += outcome.cycles
-            if self.telemetry.enabled:
-                self.telemetry.count("cpu.hfi_exit")
-                self.telemetry.end_span(self.stats.cycles,
-                                        name="hfi.sandbox",
-                                        reason="exit")
-        if outcome.redirect_to is not None:
-            self.regs.rip = outcome.redirect_to
-
-    def _hfi_set_region(self, number: int, descriptor_reg: Reg) -> None:
-        from ..core.encoding import REGION_DESCRIPTOR_BYTES
-        ptr = self.regs.read(descriptor_reg)
-        region = decode_region(
-            self._descriptor_read(ptr, REGION_DESCRIPTOR_BYTES))
-        cost = self.hfi.set_region(number, region)
-        if not self._speculative:
-            self.stats.cycles += cost
-            if self.telemetry.enabled:
-                self.telemetry.count("cpu.region_install")
-                self.telemetry.event("hfi.set_region", self.stats.cycles,
-                                     region=number)
-
-    def _hfi_get_region(self, number: int, descriptor_reg: Reg) -> None:
-        region, cost = self.hfi.get_region(number)
-        ptr = self.regs.read(descriptor_reg)
-        if region is not None and not self._speculative:
-            self.mem.write_bytes(ptr, encode_region(region), check=False)
-        if not self._speculative:
-            self.stats.cycles += cost
+        """Compat shim: decode (cached) and execute one instruction."""
+        decode_one(ins, pc).run(self)

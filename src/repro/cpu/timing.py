@@ -1,0 +1,97 @@
+"""The timing seam: every cycle charged by the exec layer flows here.
+
+The staged engine keeps instruction *semantics* (the ``exec_*``
+modules) separate from instruction *cost* so the two can evolve
+independently — the gem5 split between functional and timing models.
+A future fast-functional mode swaps this object for one whose charge
+methods are no-ops while leaving the handlers untouched.
+
+Three charging disciplines exist in the machine model and each has a
+named method, because mixing them up is exactly the kind of silent
+timing drift the golden-cycle fixture exists to catch:
+
+* :meth:`charge` — commit-only cost.  Squashed with the wrong path
+  (ALU latencies, transition costs, mispredict penalties).
+* :meth:`charge_always` — paid even speculatively (``rdtsc`` reads the
+  real cycle counter on the wrong path too).
+* :meth:`mem_access` — the subtle one: TLB and data-cache *side
+  effects* always happen (that persistence is the Spectre channel),
+  but their latency is charged at commit only.
+
+``fetch`` is the bound i-side access used by both the commit loop and
+the speculation loop; fetch latency policy lives in the callers (the
+commit loop charges it, the wrong path does not).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class TimingModel:
+    """Cycle accounting for one core, bound to its stats block."""
+
+    __slots__ = ("cpu", "stats", "params", "fetch", "_tlb", "_dcache",
+                 "_l1d", "_tlb_obj", "_page_bytes")
+
+    def __init__(self, cpu) -> None:
+        self.cpu = cpu
+        self.stats = cpu.stats          # never rebound after Cpu.__init__
+        self.params = cpu.params
+        #: i-side access (cache side effects + returned latency).
+        self.fetch = cpu.caches.fetch_access
+        self._tlb = cpu.tlb.access
+        self._tlb_obj = cpu.tlb
+        self._page_bytes = cpu.params.page_bytes
+        self._dcache = cpu.caches.data_access
+        self._l1d = cpu.caches.l1d
+
+    def charge(self, cycles: int) -> None:
+        """Commit-only cost: squashed along with the wrong path."""
+        if not self.cpu._speculative:
+            self.stats.cycles += cycles
+
+    def charge_always(self, cycles: int) -> None:
+        """Cost paid even on the wrong path."""
+        self.stats.cycles += cycles
+
+    def mem_access(self, ea: int) -> None:
+        """One data-side access: fills always, latency at commit only."""
+        # dTLB hit fast path, inlined; misses take the full LRU+evict
+        # path in Tlb.access.
+        tlb = self._tlb_obj
+        pages = tlb._pages
+        page = ea // self._page_bytes
+        if page in pages:
+            del pages[page]
+            pages[page] = True
+            tlb._hits += 1
+            tlb_cost = 0
+        else:
+            tlb_cost = self._tlb(ea)
+        # l1d hit fast path, inlined (runs on every load and store);
+        # misses fall back to the full hierarchy walk.
+        l1d = self._l1d
+        line = ea // l1d.line_bytes
+        n_sets = l1d.n_sets
+        ways = l1d._sets[line % n_sets]
+        tag = line // n_sets
+        if tag in ways:
+            del ways[tag]
+            ways[tag] = True
+            l1d._hits += 1
+            cache_cost = self.params.l1d_hit_cycles
+        else:
+            cache_cost = self._dcache(ea)
+        if not self.cpu._speculative:
+            self.stats.cycles += tlb_cost + cache_cost
+
+    def mispredict(self) -> None:
+        """Pipeline flush on a resolved misprediction (commit path)."""
+        self.stats.cycles += self.params.branch_mispredict_penalty
+
+    def serialize_drain(self, cost: Optional[int] = None) -> None:
+        """Full (or partial, for ``lfence``) pipeline drain at commit."""
+        self.stats.cycles += (cost if cost is not None
+                              else self.params.serialize_drain_cycles)
+        self.stats.serializations += 1

@@ -33,6 +33,10 @@ class Instruction:
     addr: int = 0                    # byte address after layout
     length: int = 0                  # encoded byte length
     comment: str = ""
+    #: Predecoded handler cache (valid only for the laid-out ``addr``);
+    #: owned by :mod:`repro.cpu.decode`, excluded from equality/repr.
+    _decoded: Optional[object] = field(default=None, init=False,
+                                       repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.length:
@@ -172,6 +176,12 @@ class Program:
     def finalize(self) -> None:
         """Build the address index after layout."""
         self._by_addr = {ins.addr: ins for ins in self.instructions}
+
+    def invalidate_decode_cache(self) -> None:
+        """Drop all predecoded handlers (call after relaying-out)."""
+        self.__dict__.pop("_decode_cache", None)
+        for ins in self.instructions:
+            ins._decoded = None
 
     def __len__(self) -> int:
         return len(self.instructions)

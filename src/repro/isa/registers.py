@@ -18,6 +18,12 @@ MASK64 = (1 << 64) - 1
 class Reg(enum.Enum):
     """The sixteen x86-64 general-purpose registers."""
 
+    # Members are singletons, so identity hashing is correct — and it
+    # replaces Enum's Python-level ``hash(self._name_)`` with a C slot.
+    # Register-file dicts are keyed by Reg on the interpreter hot path,
+    # where the default hash shows up as ~5% of total runtime.
+    __hash__ = object.__hash__
+
     RAX = "rax"
     RBX = "rbx"
     RCX = "rcx"
@@ -89,6 +95,20 @@ class RegisterFile:
         clone.rip = self.rip
         clone.flags = self.flags.copy()
         return clone
+
+    def load_from(self, other: "RegisterFile") -> None:
+        """Adopt ``other``'s GPRs and flags *in place* (rip untouched).
+
+        Used by ``xrstor``: the live register file's identity must not
+        change, since callers (and the speculation journal) hold direct
+        references to ``regs`` and ``flags``.
+        """
+        self.regs.update(other.regs)
+        flags, saved = self.flags, other.flags
+        flags.zf = saved.zf
+        flags.sf = saved.sf
+        flags.cf = saved.cf
+        flags.of = saved.of
 
 
 def to_signed(value: int, bits: int = 64) -> int:

@@ -49,12 +49,21 @@ class AccessKind(enum.Enum):
     WRITE = "write"
     EXEC = "exec"
 
+    # Members are singletons; identity hashing makes the per-access
+    # ``_REQUIRED_BITS[kind]`` lookup a C-speed operation.
+    __hash__ = object.__hash__
+
 
 _REQUIRED = {
     AccessKind.READ: Prot.READ,
     AccessKind.WRITE: Prot.WRITE,
     AccessKind.EXEC: Prot.EXEC,
 }
+
+#: Raw int protection bits per access kind: ``prot._value_ & bits``
+#: avoids IntFlag.__and__ (a Python-level call that allocates a new
+#: flag member) on the once-per-memory-access check path.
+_REQUIRED_BITS = {kind: prot._value_ for kind, prot in _REQUIRED.items()}
 
 
 class PageFault(Exception):
@@ -135,8 +144,10 @@ class AddressSpace:
     def find_vma(self, addr: int) -> Optional[Vma]:
         """Return the VMA containing ``addr``, if any."""
         idx = bisect.bisect_right(self._starts, addr) - 1
-        if idx >= 0 and self._vmas[idx].contains(addr):
-            return self._vmas[idx]
+        if idx >= 0:
+            vma = self._vmas[idx]
+            if vma.start <= addr < vma.end:   # contains(), inlined
+                return vma
         return None
 
     def vmas(self) -> List[Vma]:
@@ -331,12 +342,13 @@ class AddressSpace:
         vma = self.find_vma(addr)
         if vma is None:
             raise PageFault(addr, kind, "unmapped")
+        required = _REQUIRED_BITS[kind]
         if addr + size > vma.end:
             # The access straddles into the next mapping (or a hole).
             nxt = self.find_vma(vma.end)
-            if nxt is None or not nxt.prot & _REQUIRED[kind]:
+            if nxt is None or not nxt.prot._value_ & required:
                 raise PageFault(vma.end, kind, "straddles unmapped/guard")
-        if not vma.prot & _REQUIRED[kind]:
+        if not vma.prot._value_ & required:
             raise PageFault(addr, kind, f"protection ({vma.prot!r})")
         return vma
 
@@ -351,6 +363,15 @@ class AddressSpace:
         """Load a little-endian integer of ``size`` bytes."""
         if check:
             self.check_access(addr, size, AccessKind.READ)
+        # Fast path: the access stays within one page (nearly every
+        # CPU-issued load) — skip the chunked read_bytes walk.
+        page, offset = divmod(addr, PAGE)
+        end = offset + size
+        if end <= PAGE:
+            stored = self._pages.get(page)
+            if stored is None:
+                return 0                       # untouched pages read 0
+            return int.from_bytes(stored[offset:end], "little")
         return int.from_bytes(self.read_bytes(addr, size, check=False),
                               "little")
 
@@ -360,6 +381,15 @@ class AddressSpace:
         if check:
             self.check_access(addr, size, AccessKind.WRITE)
         data = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+        page, offset = divmod(addr, PAGE)
+        end = offset + size
+        if end <= PAGE:
+            stored = self._pages.get(page)
+            if stored is None:
+                stored = bytearray(PAGE)       # lazy page materialisation
+                self._pages[page] = stored
+            stored[offset:end] = data
+            return
         self.write_bytes(addr, data, check=False)
 
     def read_bytes(self, addr: int, size: int, *, check: bool = True) -> bytes:

@@ -212,3 +212,51 @@ class KernelStats(ComponentStats):
     seccomp_diverted: int = 0
     segv_delivered: int = 0
     syscall_cycles: int = 0
+
+
+@dataclass
+class DecodeCacheStats(ComponentStats):
+    """Predecode-cache effectiveness for the staged execution engine.
+
+    ``predecoded`` counts ops lowered eagerly at ``load_program`` time,
+    ``lazy_decodes`` those first reached through the slow path (e.g.
+    instructions patched into ``_code`` by tests or JIT-style attacks),
+    and ``invalidations`` how many cached ops were discarded by such
+    patches.  ``executed`` is total committed + speculative dynamic
+    instructions, so ``hits`` approximates dynamic cache hits.
+    """
+
+    predecoded: int = 0
+    lazy_decodes: int = 0
+    invalidations: int = 0
+    cached_ops: int = 0
+    executed: int = 0
+
+    @property
+    def hits(self) -> int:
+        return max(self.executed - self.lazy_decodes, 0)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.executed if self.executed else 0.0
+
+
+@dataclass
+class SpeculationJournalStats(ComponentStats):
+    """Undo-log traffic for journaled wrong-path speculation.
+
+    One ``window`` per mispredict that opened speculation; every window
+    rolls back, so ``rollbacks`` should equal ``windows``.
+    ``hfi_snapshots`` counts copy-on-first-write HFI bank saves — it
+    stays far below ``windows`` because most wrong paths never touch
+    HFI state, which is exactly the saving over eager deepcopy.
+    """
+
+    windows: int = 0
+    rollbacks: int = 0
+    reg_entries: int = 0
+    hfi_snapshots: int = 0
+
+    @property
+    def entries_per_window(self) -> float:
+        return self.reg_entries / self.windows if self.windows else 0.0

@@ -1,0 +1,55 @@
+"""Golden cycle-count regression: the simulator's timing is locked.
+
+Every workload in :mod:`repro.workloads.golden` must reproduce the
+exact counters frozen in ``golden_cycles.json``.  A diff here means a
+change altered simulated *timing* — if that was intended, regenerate
+with ``PYTHONPATH=src python scripts/gen_golden_cycles.py`` and justify
+it in the commit message; if not, the change has a fidelity bug.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.workloads.golden import GOLDEN_WORKLOADS, run_all
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_cycles.json"
+
+
+@pytest.fixture(scope="module")
+def fresh():
+    # One pass over the whole registry, in order: some workload
+    # builders share module-global counters, so ordering is part of
+    # the contract (see repro.workloads.golden).
+    return run_all()
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def test_fixture_covers_registry(golden):
+    assert set(golden) == set(GOLDEN_WORKLOADS)
+
+
+@pytest.mark.parametrize("name", list(GOLDEN_WORKLOADS))
+def test_golden_workload(name, fresh, golden):
+    expected = golden[name]
+    actual = fresh[name]
+    assert actual == expected, (
+        f"{name}: timing drift\n"
+        + "\n".join(f"  {k}: golden={expected.get(k)} now={actual.get(k)}"
+                    for k in sorted(set(expected) | set(actual))
+                    if expected.get(k) != actual.get(k)))
+
+
+def test_key_counters_locked(fresh, golden):
+    """The acceptance triple — cycles, hfi_faults, speculative
+    instructions — is bit-equal on every locked workload."""
+    for name, expected in golden.items():
+        actual = fresh[name]
+        for key in ("cycles", "hfi_faults", "speculative_instructions"):
+            if key in expected:
+                assert actual[key] == expected[key], (name, key)

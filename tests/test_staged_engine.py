@@ -1,0 +1,233 @@
+"""Staged execution engine: predecode cache, journal, and run-loop edges.
+
+These pin down behaviours introduced by the split of the Cpu monolith
+into decode / exec / timing / journal stages:
+
+* the ``max_instructions`` boundary resolves a pending halt or fault
+  instead of silently reporting ``instruction_limit``;
+* patching code through ``cpu._code`` invalidates the decoded entry
+  (self-modifying setups stay coherent with the predecode cache);
+* speculation squashes via the undo journal — the register file and
+  HFI state keep their object identity, and ``copy.deepcopy`` never
+  runs on the speculation or snapshot paths.
+"""
+
+import copy
+import unittest.mock
+
+import pytest
+
+from repro.cpu import Cpu
+from repro.isa import Assembler, Imm, Mem, Reg
+from repro.os import AddressSpace, Prot
+from repro.params import MachineParams
+from repro.telemetry import Telemetry
+
+UNMAPPED = 0x66_0000
+
+
+@pytest.fixture
+def params():
+    return MachineParams()
+
+
+def make_cpu(params):
+    mem = AddressSpace(params)
+    cpu = Cpu(params, memory=mem)
+    mem.mmap(1 << 16, Prot.rw(), addr=0x10_0000)
+    stack = mem.mmap(1 << 16, Prot.rw(), addr=0x7F_0000)
+    cpu.regs.write(Reg.RSP, stack + (1 << 16) - 64)
+    return cpu
+
+
+class TestInstructionLimitEdge:
+    """The budget boundary must not swallow the last instruction's fate."""
+
+    def test_halt_on_final_instruction(self, params):
+        cpu = make_cpu(params)
+        asm = Assembler()
+        asm.mov(Reg.RAX, Imm(1))
+        asm.mov(Reg.RBX, Imm(2))
+        asm.hlt()
+        program = asm.assemble()
+        cpu.load_program(program)
+        result = cpu.run(program.base, max_instructions=3)
+        assert result.reason == "hlt"
+
+    def test_fault_on_final_instruction(self, params):
+        cpu = make_cpu(params)
+        asm = Assembler()
+        asm.mov(Reg.RAX, Imm(1))
+        asm.mov(Reg.RBX, Imm(2))
+        asm.mov(Reg.RCX, Mem(disp=UNMAPPED))
+        program = asm.assemble()
+        cpu.load_program(program)
+        result = cpu.run(program.base, max_instructions=3)
+        assert result.reason == "fault"
+        assert result.fault is not None
+        assert result.fault.kind == "page"
+        assert result.fault.addr == UNMAPPED
+
+    def test_fault_on_final_instruction_with_resume(self, params):
+        cpu = make_cpu(params)
+        asm = Assembler()
+        asm.mov(Reg.RAX, Imm(1))
+        asm.mov(Reg.RCX, Mem(disp=UNMAPPED))
+        asm.label("recover")
+        asm.hlt()
+        program = asm.assemble()
+        cpu.load_program(program)
+        cpu.fault_resume_address = program.labels["recover"]
+        result = cpu.run(program.base, max_instructions=2)
+        # The fault resolved into a redirect, but the budget is spent:
+        # the caller sees the limit with rip already at the handler.
+        assert result.reason == "instruction_limit"
+        assert result.rip == program.labels["recover"]
+
+    def test_limit_without_pending_event(self, params):
+        cpu = make_cpu(params)
+        asm = Assembler()
+        asm.mov(Reg.RAX, Imm(1))
+        asm.mov(Reg.RBX, Imm(2))
+        asm.hlt()
+        program = asm.assemble()
+        cpu.load_program(program)
+        result = cpu.run(program.base, max_instructions=2)
+        assert result.reason == "instruction_limit"
+        assert cpu.regs.read(Reg.RBX) == 2
+
+
+class TestPredecodeCache:
+    def test_program_predecoded_once(self, params):
+        cpu = make_cpu(params)
+        asm = Assembler()
+        asm.mov(Reg.RAX, Imm(7))
+        asm.hlt()
+        program = asm.assemble()
+        cpu.load_program(program)
+        stats = cpu.decode_stats()
+        assert stats.predecoded == len(program.instructions)
+        assert stats.cached_ops == len(program.instructions)
+        result = cpu.run(program.base)
+        assert result.reason == "hlt"
+        assert cpu.decode_stats().lazy_decodes == 0
+
+    def test_code_patch_invalidates_decoded_entry(self, params):
+        cpu = make_cpu(params)
+        asm = Assembler()
+        asm.mov(Reg.RAX, Imm(1))
+        asm.hlt()
+        program = asm.assemble()
+        cpu.load_program(program)
+        assert cpu.run(program.base).reason == "hlt"
+        assert cpu.regs.read(Reg.RAX) == 1
+
+        patched = Assembler()
+        patched.mov(Reg.RAX, Imm(2))
+        patched.hlt()
+        replacement = patched.assemble().instructions[0]
+        cpu._code[program.base] = replacement
+        assert cpu._code.invalidations == 1
+
+        assert cpu.run(program.base).reason == "hlt"
+        assert cpu.regs.read(Reg.RAX) == 2
+        assert cpu.decode_stats().lazy_decodes >= 1
+
+    def test_shared_program_reuses_decode_cache(self, params):
+        asm = Assembler()
+        asm.mov(Reg.RAX, Imm(3))
+        asm.hlt()
+        program = asm.assemble()
+        cpu_a = make_cpu(params)
+        cpu_b = make_cpu(params)
+        cpu_a.load_program(program)
+        cpu_b.load_program(program)
+        base = program.base
+        assert cpu_a._decoded[base] is cpu_b._decoded[base]
+        assert cpu_a.run(base).reason == "hlt"
+        assert cpu_b.run(base).reason == "hlt"
+        assert cpu_a.regs.read(Reg.RAX) == 3
+        assert cpu_b.regs.read(Reg.RAX) == 3
+
+
+def _mispredicting_program():
+    """A counted loop: the backward branch mispredicts at loop exit."""
+    asm = Assembler()
+    asm.mov(Reg.RAX, Imm(0))
+    asm.mov(Reg.RCX, Imm(0))
+    asm.label("loop")
+    asm.add(Reg.RAX, Reg.RCX)
+    asm.inc(Reg.RCX)
+    asm.cmp(Reg.RCX, Imm(50))
+    asm.jne("loop")
+    asm.hlt()
+    return asm.assemble()
+
+
+class TestJournaledSpeculation:
+    def test_state_identity_survives_speculation(self, params):
+        cpu = make_cpu(params)
+        program = _mispredicting_program()
+        cpu.load_program(program)
+        regs_id = id(cpu.regs)
+        gpr_id = id(cpu.regs.regs)
+        hfi_id = id(cpu.hfi)
+        hfi_regs_id = id(cpu.hfi.regs)
+        result = cpu.run(program.base)
+        assert result.reason == "hlt"
+        assert cpu.stats.speculative_instructions > 0
+        assert cpu.regs.read(Reg.RAX) == sum(range(50))
+        assert id(cpu.regs) == regs_id
+        assert id(cpu.regs.regs) == gpr_id
+        assert id(cpu.hfi) == hfi_id
+        assert id(cpu.hfi.regs) == hfi_regs_id
+
+    def test_journal_stats_track_windows(self, params):
+        cpu = make_cpu(params)
+        program = _mispredicting_program()
+        cpu.load_program(program)
+        cpu.run(program.base)
+        stats = cpu._journal.stats()
+        assert stats.windows >= 1
+        assert stats.rollbacks == stats.windows
+
+    def test_no_deepcopy_during_speculation(self, params):
+        cpu = make_cpu(params)
+        program = _mispredicting_program()
+        cpu.load_program(program)
+        real_deepcopy = copy.deepcopy
+        with unittest.mock.patch("copy.deepcopy",
+                                 side_effect=real_deepcopy) as spy:
+            result = cpu.run(program.base)
+        assert result.reason == "hlt"
+        assert cpu.stats.speculative_instructions > 0
+        assert spy.call_count == 0
+
+    def test_hfi_snapshot_restore_keeps_identity(self, params):
+        cpu = make_cpu(params)
+        bank = cpu.hfi.snapshot()
+        regs_id = id(cpu.hfi.regs)
+        cpu.hfi.regs.cause_msr = cpu.hfi.regs.cause_msr  # touch, no-op
+        cpu.hfi.restore(bank)
+        assert id(cpu.hfi.regs) == regs_id
+
+
+class TestTelemetrySurface:
+    def test_decode_and_journal_components_registered(self, params):
+        tel = Telemetry()
+        mem = AddressSpace(params)
+        cpu = Cpu(params, memory=mem, telemetry=tel)
+        asm = Assembler()
+        asm.mov(Reg.RAX, Imm(9))
+        asm.hlt()
+        program = asm.assemble()
+        cpu.load_program(program)
+        cpu.run(program.base)
+        snap = tel.snapshot()
+        assert {"decode", "journal"} <= set(snap["components"])
+        decode = snap["components"]["decode"]
+        assert decode["predecoded"] == len(program.instructions)
+        assert decode["executed"] >= 2
+        assert "hit_rate" in decode
+        journal = snap["components"]["journal"]
+        assert journal["windows"] == journal["rollbacks"]
