@@ -290,6 +290,39 @@ def cmd_telemetry(args) -> int:
     return 0 if total_attributed == manager.total_cycles else 1
 
 
+def cmd_verify(args) -> int:
+    """Run the differential-oracle + invariant battery (repro.verify).
+
+    Exit status 0 iff the run is clean: zero staged-vs-reference
+    divergences, zero unclassified comparator disagreements, zero
+    poison hits, zero invariant violations."""
+    from .verify import run_verify
+
+    if args.seeds < 1:
+        raise SystemExit("--seeds must be >= 1")
+    seeds = range(args.seed_base, args.seed_base + args.seeds)
+    stats, report = run_verify(seeds=seeds,
+                               comparator_trials=args.comparator_trials)
+    comparator = report["comparator"]
+    lines = [
+        f"oracle runs:       {report['oracle_runs']} "
+        f"(seeds {seeds.start}..{seeds.stop - 1}, "
+        f"{report['instructions']:,} instructions)",
+        f"divergences:       {report['divergences']}",
+        f"comparator trials: {comparator['trials']:,} "
+        f"({', '.join(f'{k}={v}' for k, v in sorted(comparator['classified'].items()))})",
+        f"unclassified:      {comparator['unclassified']}",
+        f"poison writes:     {report['poison_writes']} "
+        f"(hits: {report['poison_hits']})",
+        f"invariant checks:  {report['invariant_checks']} "
+        f"(violations: {report['invariant_violations']})",
+        f"verdict:           {'CLEAN' if stats.clean else 'DIRTY'}",
+    ]
+    lines += [f"  FAIL: {failure}" for failure in report["failures"]]
+    _emit(args, dict(report, stats=stats.as_dict()), "\n".join(lines))
+    return 0 if stats.clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-hfi",
@@ -354,6 +387,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None, metavar="PATH",
                    help="also write the full telemetry snapshot as JSON")
     p.set_defaults(func=cmd_telemetry)
+
+    p = sub.add_parser(
+        "verify", parents=[output],
+        help="differential oracle + comparator fuzz + invariant probes")
+    p.add_argument("--seeds", type=int, default=50,
+                   help="number of ISA fuzz seeds to run (default 50)")
+    p.add_argument("--seed-base", type=int, default=0,
+                   help="first seed (CI rotates this nightly)")
+    p.add_argument("--comparator-trials", type=int, default=20_000,
+                   help="randomized comparator fuzz trials")
+    p.set_defaults(func=cmd_verify)
     return parser
 
 

@@ -98,35 +98,51 @@ def hmov_effective_address(region: Optional[ExplicitDataRegion],
 
 
 def hmov_check_hardware(region: ExplicitDataRegion, index: int, scale: int,
-                        disp: int) -> Tuple[bool, int]:
+                        disp: int, size: int = 1) -> Tuple[bool, int]:
     """The §4.2 hardware comparator: (in_bounds, effective_address).
 
     Checks, using only cheap logic:
       1. disp and index sign bits are zero,
       2. the EA computation does not overflow,
-      3. a *single 32-bit comparison* against the bound:
-         - large regions: EA[47:16] < (base+bound)[47:16]
-           (both are 64 KiB aligned, so this is exact), or
-         - small regions: EA[31:0] < (base+bound)[31:0]
+      3. a *single 32-bit comparison* of the access's **last byte**
+         against the bound:
+         - large regions: LAST[47:16] < (base+bound)[47:16]
+           (base and bound are 64 KiB aligned, so this is exact), or
+         - small regions: LAST[31:0] < (base+bound)[31:0]
            (the region cannot span a 4 GiB boundary, so the low
            32 bits order correctly).
+
+    The comparator operates on the address of the access's last byte
+    (``EA + size - 1``), not its first: an x86 access is 1-8 bytes
+    wide, and comparing only the first byte would admit an access
+    whose tail wraps past 2^64 (where the golden semantics raise
+    ``HMOV_OVERFLOW``) or dangles past the bound (``HMOV_OUT_OF_BOUNDS``).
+    ``size`` defaults to 1 for byte-granular sweeps; the verify layer's
+    comparator fuzzer exercises the full 1/2/4/8 space.
+
+    Out of scope, by design (classified by ``verify.fuzz_checks``):
+    permissions (checked by the permission bits, not the bounds
+    comparator) and large regions extending past 2^48 (the comparator
+    is bits [47:16] wide; such descriptors are outside the installable
+    architectural space).
     """
     if to_signed(disp) < 0 or to_signed(index) < 0:
         return False, 0
     ea = region.base_address + index * scale + disp
-    if ea > MASK64:
+    last = ea + size - 1
+    if last > MASK64:
         return False, 0
     end = region.base_address + region.bound
     if region.is_large_region:
-        ok = (ea >> 16) < (end >> 16) if region.bound else False
+        ok = (last >> 16) < (end >> 16) if region.bound else False
         # the comparator is 32 bits wide: bits [47:16]
-        ok = ok and (ea >> VA_BITS) == 0
+        ok = ok and (last >> VA_BITS) == 0
     else:
         if region.bound == 0:
             ok = False
         else:
-            low_ea = ea & 0xFFFF_FFFF
+            low_last = last & 0xFFFF_FFFF
             low_end = end - (region.base_address & ~0xFFFF_FFFF)
-            same_block = (ea >> 32) == (region.base_address >> 32)
-            ok = same_block and low_ea < low_end
+            same_block = (last >> 32) == (region.base_address >> 32)
+            ok = same_block and low_last < low_end
     return ok, ea

@@ -36,7 +36,8 @@ class SpeculationJournal:
     """Per-core undo log, recorded only while ``cpu._speculative``."""
 
     __slots__ = ("entries", "windows", "rollbacks", "reg_entries",
-                 "hfi_snapshots", "_rip", "_flags", "_pkru", "_hfi_undo")
+                 "hfi_snapshots", "_rip", "_flags", "_pkru", "_hfi_undo",
+                 "probe")
 
     def __init__(self) -> None:
         #: Wrong-path GPR writes as ``(Reg, old_value)``; writer
@@ -50,6 +51,9 @@ class SpeculationJournal:
         self._flags = (False, False, False, False)
         self._pkru = 0
         self._hfi_undo: Optional[tuple] = None
+        #: Optional sanitizer probe (verify.invariants); checks that
+        #: squash preserves object identity of the architectural state.
+        self.probe = None
 
     # ------------------------------------------------------------------
     # window lifecycle
@@ -65,6 +69,8 @@ class SpeculationJournal:
         self._pkru = cpu.process.pkru if cpu.process is not None else 0
         self._hfi_undo = None
         cpu.hfi._journal = self
+        if self.probe is not None:
+            self.probe.on_open(cpu)
 
     def snapshot_hfi(self, hfi) -> None:
         """Copy-on-first-write bank of the HFI state for this window.
@@ -106,6 +112,8 @@ class SpeculationJournal:
             self._hfi_undo = None
         hfi._journal = None
         self.rollbacks += 1
+        if self.probe is not None:
+            self.probe.on_rollback(cpu)
 
     # ------------------------------------------------------------------
     # observability

@@ -176,6 +176,16 @@ class Cpu:
                              ("journal", self._journal.stats)):
                 self.telemetry.register_component(name, fn)
 
+    def install_invariant_probe(self, probe) -> None:
+        """Arm a sanitizer probe on the speculation journal.
+
+        The probe (see :mod:`repro.verify.invariants`) is notified at
+        window open and after squash so it can assert that rollback
+        preserves object identity of ``cpu.regs``/``cpu.hfi``/
+        ``process.hfi_state``.  Pass ``None`` to disarm.
+        """
+        self._journal.probe = probe
+
     def decode_stats(self) -> DecodeCacheStats:
         """Predecode-cache counters (``repro.telemetry`` surface)."""
         executed = (self.stats.instructions

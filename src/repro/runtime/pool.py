@@ -46,6 +46,9 @@ class InstancePool:
         self.slots: List[PoolSlot] = []
         self._free: List[int] = []
         self._pending_discard: List[PoolSlot] = []
+        # Optional sanitizer probe (repro.verify.invariants.PoolInvariants);
+        # None in production runs so the hot paths stay branch-cheap.
+        self.invariants = None
         self.setup_cycles = 0
         self.recycle_cycles = 0
         self.acquires = 0
@@ -77,6 +80,8 @@ class InstancePool:
         self.acquires += 1
         if self.telemetry.enabled:
             self.telemetry.count("pool.acquire")
+        if self.invariants is not None:
+            self.invariants.on_acquire(self, slot)
         return slot
 
     def release(self, slot: PoolSlot) -> int:
@@ -92,8 +97,13 @@ class InstancePool:
         if self.telemetry.enabled:
             self.telemetry.count("pool.release")
         if self.batch_teardown:
+            # The slot stays OFF the free list until flush_discards has
+            # actually zapped its memory.  Handing it out earlier lets a
+            # re-acquired live instance's heap be discarded by a later
+            # flush — the dirty-slot recycling bug.
             self._pending_discard.append(slot)
-            self._free.append(slot.index)
+            if self.invariants is not None:
+                self.invariants.on_release(self, slot, batched=True)
             return 0
         cost = (self.params.syscall_cycles
                 + self.space.madvise_dontneed(slot.heap_base,
@@ -103,6 +113,8 @@ class InstancePool:
         self.recycle_cycles += cost
         if self.telemetry.enabled:
             self.telemetry.add_cycles("pool.recycle", cost)
+        if self.invariants is not None:
+            self.invariants.on_release(self, slot, batched=False)
         return cost
 
     def flush_discards(self) -> int:
@@ -119,9 +131,13 @@ class InstancePool:
                   for s in self._pending_discard)
         cost = (self.params.syscall_cycles
                 + self.space.madvise_dontneed(begin, end - begin))
-        for slot in self._pending_discard:
+        flushed = self._pending_discard
+        self._pending_discard = []
+        for slot in flushed:
             slot.dirty = False
-        self._pending_discard.clear()
+            self._free.append(slot.index)
+        if self.invariants is not None:
+            self.invariants.on_flush(self, flushed)
         self.recycle_cycles += cost
         self.batched_flushes += 1
         if self.telemetry.enabled:
@@ -137,4 +153,5 @@ class InstancePool:
             available=self.available, acquires=self.acquires,
             releases=self.releases, batched_flushes=self.batched_flushes,
             setup_cycles=self.setup_cycles,
-            recycle_cycles=self.recycle_cycles)
+            recycle_cycles=self.recycle_cycles,
+            pending_discards=len(self._pending_discard))

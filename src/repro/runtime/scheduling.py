@@ -28,10 +28,20 @@ class ScheduleOutcome:
     total_cycles: int
     switch_cycles: int
     switches: int
+    busy_cycles: int = 0
 
     @property
     def switch_share(self) -> float:
-        return self.switch_cycles / self.total_cycles
+        """Fraction of *aggregate busy cycles* spent switching, in [0, 1].
+
+        ``switch_cycles`` is summed over every core, while
+        ``total_cycles`` is wall-clock (per-core), so dividing by the
+        latter inflates the share by the core count and can exceed 1.0.
+        """
+        denom = self.busy_cycles or self.total_cycles
+        if denom <= 0:
+            return 0.0
+        return min(1.0, max(0.0, self.switch_cycles / denom))
 
 
 @dataclass
@@ -60,7 +70,8 @@ class MultiplexModel:
             mechanism=mechanism,
             total_cycles=math.ceil(busy / self.cores),
             switch_cycles=switch_cycles,
-            switches=switches)
+            switches=switches,
+            busy_cycles=busy)
 
     def single_process(self, n_requests: int, service_cycles: int,
                        slice_cycles: int = 50_000,

@@ -28,6 +28,7 @@ from .stats import (
     StatsAccessor,
     TlbStats,
     TracerStats,
+    VerifyStats,
 )
 
 __all__ = [
@@ -37,6 +38,7 @@ __all__ = [
     "ComponentStats", "StatsAccessor", "CacheStats", "TlbStats",
     "PredictorStats", "TracerStats", "SandboxStats",
     "SandboxManagerStats", "HfiDeviceStats", "PoolStats", "KernelStats",
+    "VerifyStats",
     "to_json", "metrics_to_csv", "spans_to_csv", "attribution_to_csv",
     "write_json", "write_csv",
 ]

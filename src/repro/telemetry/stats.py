@@ -202,6 +202,7 @@ class PoolStats(ComponentStats):
     batched_flushes: int = 0
     setup_cycles: int = 0
     recycle_cycles: int = 0
+    pending_discards: int = 0
 
 
 @dataclass
@@ -260,3 +261,34 @@ class SpeculationJournalStats(ComponentStats):
     @property
     def entries_per_window(self) -> float:
         return self.reg_entries / self.windows if self.windows else 0.0
+
+
+@dataclass
+class VerifyStats(ComponentStats):
+    """Correctness-tooling counters from the ``repro.verify`` layer.
+
+    ``oracle_runs`` counts staged-vs-reference differential executions,
+    ``divergences`` how many disagreed on architectural end-state.
+    ``comparator_trials``/``comparator_disagreements``/``unclassified_disagreements``
+    come from the hmov comparator fuzzer (a *classified* disagreement —
+    permission, va-width — is an understood design limit; an
+    unclassified one is a bug).  ``poison_hits`` and the invariant
+    counters come from the sanitizer probes in ``verify.invariants``.
+    """
+
+    oracle_runs: int = 0
+    divergences: int = 0
+    comparator_trials: int = 0
+    comparator_disagreements: int = 0
+    unclassified_disagreements: int = 0
+    poison_writes: int = 0
+    poison_hits: int = 0
+    invariant_checks: int = 0
+    invariant_violations: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return (self.divergences == 0
+                and self.unclassified_disagreements == 0
+                and self.poison_hits == 0
+                and self.invariant_violations == 0)

@@ -1,0 +1,221 @@
+"""Differential-oracle and invariant-checking subsystem.
+
+The correctness tooling behind the staged execution engine and the
+recycling runtime:
+
+* :mod:`repro.verify.reference` — a deliberately naive straight-line
+  interpreter whose architectural end state is the oracle.
+* :mod:`repro.verify.fuzz_isa` — seeded program generation over the
+  full opcode table, executed on both engines with full-state equality
+  asserted.
+* :mod:`repro.verify.fuzz_checks` — randomized sweep of the §4.2
+  hardware comparator against the golden hmov semantics, with every
+  disagreement classified.
+* :mod:`repro.verify.invariants` — sanitizer-style probes (pool
+  poison-on-discard, free-list consistency, speculation identity),
+  armed only on demand.
+
+``run_verify`` bundles all of it into one :class:`VerifyStats`
+verdict; the ``repro-hfi verify`` CLI subcommand and the CI ``verify``
+job are thin wrappers around it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..params import MachineParams
+from ..telemetry.stats import VerifyStats
+from .fuzz_checks import (
+    AGREE,
+    PERMISSION,
+    UNCLASSIFIED,
+    VA_WIDTH,
+    ComparatorSweep,
+    ComparatorTrial,
+    boundary_sweep,
+    classify,
+    sweep,
+)
+from .fuzz_isa import (
+    DifferentialOutcome,
+    FuzzCase,
+    architectural_digest,
+    build_case,
+    run_differential,
+    run_seeds,
+)
+from .invariants import (
+    POISON_BYTE,
+    InvariantViolation,
+    PoisonedReadError,
+    PoolInvariants,
+    SpeculationIdentityProbe,
+    check_pool,
+)
+from .reference import ReferenceCpu
+
+__all__ = [
+    "ReferenceCpu",
+    "FuzzCase", "DifferentialOutcome", "build_case", "run_differential",
+    "run_seeds", "architectural_digest",
+    "ComparatorSweep", "ComparatorTrial", "classify", "sweep",
+    "boundary_sweep", "AGREE", "PERMISSION", "VA_WIDTH", "UNCLASSIFIED",
+    "PoolInvariants", "SpeculationIdentityProbe", "InvariantViolation",
+    "PoisonedReadError", "check_pool", "POISON_BYTE",
+    "run_verify", "VerifyStats",
+]
+
+
+def _pool_smoke(stats: VerifyStats, failures: List[str]) -> None:
+    """Arm the pool sanitizer over a short batched-recycle workload."""
+    from ..runtime import InstancePool
+    from ..wasm import HfiStrategy
+    from ..os import AddressSpace
+
+    params = MachineParams()
+    space = AddressSpace(params)
+    pool = InstancePool(space, HfiStrategy(), slots=4,
+                        heap_bytes=1 << 16, params=params,
+                        batch_teardown=True)
+    probe = PoolInvariants(raise_on_violation=False).install(pool)
+    unexpected_hits = 0
+    try:
+        # two full acquire/release/flush generations, with an
+        # acquire-after-batched-release in the middle (the fixed bug's
+        # trigger shape)
+        for _ in range(2):
+            held = [pool.acquire() for _ in range(4)]
+            for slot in held:
+                space.write(slot.heap_base, 0x1234)
+                pool.release(slot)
+            live = pool.acquire()        # pool drained: must be None
+            if live is not None:
+                failures.append(
+                    "pool handed out a slot while every slot was "
+                    "pending discard")
+            pool.flush_discards()
+            live = pool.acquire()
+            if live is None:
+                failures.append("pool empty after flush_discards")
+            else:
+                value = space.read(live.heap_base)   # must be clean
+                if value != 0:
+                    failures.append(
+                        f"freshly acquired slot read {value:#x}, "
+                        f"expected zeroed heap")
+                pool.release(live)
+            pool.flush_discards()
+        # Any poison hit during the normal workload is a real bug; the
+        # planted stale read below is *expected* to trip the poisoner
+        # and is excluded from the gate.
+        unexpected_hits = probe.poison_hits
+        dead = pool.slots[0]
+        try:
+            space.read(dead.heap_base)
+            failures.append("stale read of a released slot's heap was "
+                            "not flagged")
+        except PoisonedReadError:
+            pass
+    except PoisonedReadError as exc:
+        unexpected_hits = probe.poison_hits
+        failures.append(f"pool invariant: unexpected poison hit: {exc}")
+    finally:
+        stats.poison_writes += probe.poison_writes
+        stats.poison_hits += unexpected_hits
+        stats.invariant_checks += probe.checks
+        stats.invariant_violations += probe.violations
+        for message in probe.violation_log:
+            if not message.startswith("read of"):
+                failures.append(f"pool invariant: {message}")
+        probe.uninstall()
+
+
+def _speculation_smoke(stats: VerifyStats, failures: List[str]) -> None:
+    """Run a mispredicting loop with the identity probe armed."""
+    from ..cpu.machine import Cpu
+    from ..isa.assembler import Assembler
+    from ..isa.operands import Imm
+    from ..isa.registers import Reg
+
+    asm = Assembler()
+    asm.mov(Reg.RCX, Imm(64))
+    asm.mov(Reg.RAX, Imm(0))
+    asm.label("top")
+    asm.add(Reg.RAX, Imm(3))
+    asm.dec(Reg.RCX)
+    asm.jne("top")
+    asm.hlt()
+    program = asm.assemble()
+
+    cpu = Cpu()
+    probe = SpeculationIdentityProbe(raise_on_violation=False)
+    cpu.install_invariant_probe(probe)
+    cpu.load_program(program)
+    result = cpu.run(program.base)
+    if result.reason != "hlt" or cpu.regs.regs[Reg.RAX] != 192:
+        failures.append(
+            f"speculation smoke run misbehaved: reason={result.reason} "
+            f"rax={cpu.regs.regs[Reg.RAX]}")
+    if probe.checks == 0:
+        failures.append("speculation probe never fired (no rollback "
+                        "observed in a mispredicting loop)")
+    stats.invariant_checks += probe.checks
+    stats.invariant_violations += probe.violations
+    failures.extend(f"speculation invariant: {m}"
+                    for m in probe.violation_log)
+
+
+def run_verify(seeds: Iterable[int] = range(50),
+               comparator_trials: int = 20_000,
+               comparator_seed: int = 0,
+               params: Optional[MachineParams] = None,
+               ) -> Tuple[VerifyStats, Dict[str, object]]:
+    """Run the whole verify battery; returns (stats, detail report).
+
+    ``stats.clean`` is the gate: zero staged-vs-reference divergences,
+    zero unclassified comparator disagreements, zero poison hits, zero
+    invariant violations.
+    """
+    stats = VerifyStats(component="verify")
+    failures: List[str] = []
+
+    outcomes = run_seeds(seeds, params=params)
+    stats.oracle_runs = len(outcomes)
+    for outcome in outcomes:
+        if not outcome.ok:
+            stats.divergences += 1
+            for line in outcome.divergences[:8]:
+                failures.append(f"seed {outcome.seed}: {line}")
+
+    comparator = sweep(trials=comparator_trials, seed=comparator_seed)
+    directed = boundary_sweep()
+    stats.comparator_trials = comparator.trials + directed.trials
+    stats.comparator_disagreements = (comparator.disagreements
+                                      + directed.disagreements)
+    stats.unclassified_disagreements = (len(comparator.unclassified)
+                                        + len(directed.unclassified))
+    for trial in (comparator.unclassified + directed.unclassified)[:8]:
+        failures.append(f"comparator: {trial.describe()}")
+
+    _pool_smoke(stats, failures)
+    _speculation_smoke(stats, failures)
+
+    report = {
+        "oracle_runs": stats.oracle_runs,
+        "divergences": stats.divergences,
+        "instructions": sum(o.instructions for o in outcomes),
+        "comparator": {
+            "trials": stats.comparator_trials,
+            "classified": dict(comparator.counts),
+            "boundary_trials": directed.trials,
+            "unclassified": stats.unclassified_disagreements,
+        },
+        "poison_writes": stats.poison_writes,
+        "poison_hits": stats.poison_hits,
+        "invariant_checks": stats.invariant_checks,
+        "invariant_violations": stats.invariant_violations,
+        "failures": failures,
+        "clean": stats.clean,
+    }
+    return stats, report

@@ -1,0 +1,238 @@
+"""Comparator fuzzing: ``hmov_check_hardware`` vs the golden semantics.
+
+The ablation benchmark sweeps the two bounds-check implementations over
+*aligned, legal* descriptors.  This fuzzer deliberately goes beyond
+that space: randomized large regions reaching past the 48-bit virtual
+address width, small regions hugging 4 GiB block boundaries, zero
+bounds, sign-bit operands, every access size, and random permission
+bits.  Every (descriptor, operand) trial runs through both
+implementations and any disagreement is *classified*:
+
+``permission``
+    The hardware comparator admits an access the golden model rejects
+    with ``HMOV_PERMISSION``.  By design (§4.2) the single 32-bit
+    comparator checks bounds only; permissions are enforced by a
+    separate parallel check that the golden model folds into one
+    routine.
+
+``va-width``
+    A large region whose span reaches past ``2^48``.  The comparator's
+    32 compare bits cover address bits [47:16] only, so it rejects
+    accesses the (arbitrary-precision) golden model would accept.
+    Real hardware cannot generate such addresses.
+
+``unclassified``
+    Anything else — a genuine bug in one of the two implementations.
+    The verify gate requires zero of these.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.checks import (
+    VA_BITS,
+    hmov_check_hardware,
+    hmov_effective_address,
+)
+from ..core.faults import FaultCause, HfiFault
+from ..core.regions import (
+    GIB4,
+    KIB64,
+    LARGE_MAX_BOUND,
+    SMALL_MAX_BOUND,
+    ExplicitDataRegion,
+)
+
+AGREE = "agree"
+PERMISSION = "permission"
+VA_WIDTH = "va-width"
+UNCLASSIFIED = "unclassified"
+
+_SCALES = (1, 2, 4, 8)
+_SIZES = (1, 2, 4, 8)
+
+
+@dataclass
+class ComparatorTrial:
+    """One (descriptor, operand) comparison and its classification."""
+
+    region: ExplicitDataRegion
+    index: int
+    scale: int
+    disp: int
+    size: int
+    is_write: bool
+    hardware_ok: bool
+    golden_cause: Optional[FaultCause]
+    classification: str
+
+    def describe(self) -> str:
+        kind = "large" if self.region.is_large_region else "small"
+        return (f"{self.classification}: {kind} region "
+                f"base={self.region.base_address:#x} "
+                f"bound={self.region.bound:#x} "
+                f"r={int(self.region.permission_read)}"
+                f"w={int(self.region.permission_write)} "
+                f"index={self.index:#x} scale={self.scale} "
+                f"disp={self.disp:#x} size={self.size} "
+                f"write={self.is_write} hw_ok={self.hardware_ok} "
+                f"golden={self.golden_cause.name if self.golden_cause else 'OK'}")
+
+
+def classify(region: ExplicitDataRegion, index: int, scale: int,
+             disp: int, size: int, is_write: bool) -> ComparatorTrial:
+    """Run both implementations on one access and classify the result."""
+    hardware_ok, _ea = hmov_check_hardware(region, index, scale, disp,
+                                           size)
+    try:
+        hmov_effective_address(region, index, scale, disp, size, is_write)
+        golden_cause: Optional[FaultCause] = None
+    except HfiFault as fault:
+        golden_cause = fault.cause
+    golden_ok = golden_cause is None
+
+    if hardware_ok == golden_ok:
+        classification = AGREE
+    elif hardware_ok and golden_cause is FaultCause.HMOV_PERMISSION:
+        classification = PERMISSION
+    elif (not hardware_ok and golden_ok and region.is_large_region
+          and (region.base_address + index * scale + disp + size - 1)
+          >> VA_BITS):
+        classification = VA_WIDTH
+    else:
+        classification = UNCLASSIFIED
+    return ComparatorTrial(region=region, index=index, scale=scale,
+                           disp=disp, size=size, is_write=is_write,
+                           hardware_ok=hardware_ok,
+                           golden_cause=golden_cause,
+                           classification=classification)
+
+
+# ----------------------------------------------------------------------
+# randomized descriptor / operand generation
+# ----------------------------------------------------------------------
+def random_region(rng: random.Random,
+                  legal_va_only: bool = False) -> ExplicitDataRegion:
+    """A constructor-valid explicit region, biased toward edge shapes.
+
+    With ``legal_va_only`` the whole span stays inside the 48-bit
+    virtual address width — the space real hardware can ever see.
+    """
+    read = rng.random() < 0.8
+    write = rng.random() < 0.6
+    if rng.random() < 0.5:
+        # large: 64 KiB-aligned base and bound
+        max_chunks = ((1 << (VA_BITS - 16)) - 1 if legal_va_only
+                      else 1 << 40)
+        base = rng.randrange(0, max_chunks) * KIB64
+        bound = rng.choice([
+            0, KIB64, 2 * KIB64,
+            rng.randrange(0, 1 << 10) * KIB64,
+            rng.randrange(0, 1 << 28) * KIB64,
+            LARGE_MAX_BOUND,
+        ])
+        if legal_va_only:
+            bound = min(bound, (1 << VA_BITS) - base)
+            bound -= bound % KIB64
+        return ExplicitDataRegion(base, bound, permission_read=read,
+                                  permission_write=write,
+                                  is_large_region=True)
+    # small: byte-granular, must not span a 4 GiB boundary
+    bound = rng.choice([0, 1, 8, rng.randrange(0, 1 << 16),
+                        rng.randrange(0, SMALL_MAX_BOUND)])
+    blocks = (1 << (VA_BITS - 32)) if legal_va_only else (1 << 31)
+    block = rng.randrange(0, blocks) * GIB4
+    slack = GIB4 - bound
+    base = block + (rng.randrange(0, slack) if slack > 0 else 0)
+    if rng.random() < 0.3 and bound:
+        base = block + GIB4 - bound      # hug the boundary exactly
+    return ExplicitDataRegion(base, bound, permission_read=read,
+                              permission_write=write,
+                              is_large_region=False)
+
+
+def random_operands(rng: random.Random,
+                    region: ExplicitDataRegion) -> Tuple[int, int, int, int]:
+    """(index, scale, disp, size), biased toward the region's edges."""
+    scale = rng.choice(_SCALES)
+    size = rng.choice(_SIZES)
+    bound = region.bound
+    edge_pool = [0, 1, max(bound - size, 0), max(bound - 1, 0), bound,
+                 bound + 1, bound + size]
+    choice = rng.random()
+    if choice < 0.5:
+        index = rng.choice(edge_pool) // scale
+        disp = rng.choice(edge_pool) % (bound + 2) if bound else \
+            rng.choice([0, 1, size])
+    elif choice < 0.8:
+        index = rng.randrange(0, max(bound // scale, 1) + 2)
+        disp = rng.randrange(0, max(bound, 1) + 2)
+    else:
+        # hostile operands: sign bits, huge magnitudes
+        index = rng.choice([1 << 63, (1 << 64) - 1, 1 << 48,
+                            rng.randrange(0, 1 << 64)])
+        disp = rng.choice([0, 1 << 63, (1 << 64) - 1,
+                           rng.randrange(0, 1 << 64)])
+    return index, scale, disp, size
+
+
+@dataclass
+class ComparatorSweep:
+    """Aggregated result of a comparator fuzzing run."""
+
+    trials: int = 0
+    counts: Dict[str, int] = field(default_factory=dict)
+    unclassified: List[ComparatorTrial] = field(default_factory=list)
+
+    @property
+    def disagreements(self) -> int:
+        return self.trials - self.counts.get(AGREE, 0)
+
+    def record(self, trial: ComparatorTrial) -> None:
+        self.trials += 1
+        self.counts[trial.classification] = (
+            self.counts.get(trial.classification, 0) + 1)
+        if trial.classification == UNCLASSIFIED:
+            self.unclassified.append(trial)
+
+
+def sweep(trials: int = 20_000, seed: int = 0,
+          legal_va_only: bool = False) -> ComparatorSweep:
+    """Randomized comparator sweep; every disagreement is classified."""
+    rng = random.Random(seed)
+    result = ComparatorSweep()
+    for _ in range(trials):
+        region = random_region(rng, legal_va_only=legal_va_only)
+        index, scale, disp, size = random_operands(rng, region)
+        is_write = rng.random() < 0.5
+        result.record(classify(region, index, scale, disp, size,
+                               is_write))
+    return result
+
+
+def boundary_sweep() -> ComparatorSweep:
+    """Directed sweep of the last-byte edge for every access size.
+
+    For each size, offsets straddling ``bound - size`` are exactly
+    where the pre-fix comparator (which checked only the first byte)
+    admitted partially-out-of-bounds accesses.
+    """
+    result = ComparatorSweep()
+    regions = [
+        ExplicitDataRegion(0x10_0000, KIB64, permission_read=True,
+                           permission_write=True, is_large_region=True),
+        ExplicitDataRegion(0x1234, 0x1000, permission_read=True,
+                           permission_write=True, is_large_region=False),
+    ]
+    for region in regions:
+        for size in _SIZES:
+            for offset in range(max(region.bound - 2 * size, 0),
+                                region.bound + 2 * size):
+                result.record(classify(region, 0, 1, offset, size,
+                                       False))
+                result.record(classify(region, offset, 1, 0, size,
+                                       True))
+    return result

@@ -96,6 +96,36 @@ class TestInstancePool:
         assert flush > 0
         assert all(not s.dirty for s in slots)
 
+    def test_batched_release_keeps_slot_off_free_list(self, params):
+        """Regression: a batched release must park the slot in the
+        pending-discard queue, not on the free list."""
+        pool = self._pool(params, HfiStrategy(), slots=2, batch=True)
+        a, b = pool.acquire(), pool.acquire()
+        pool.release(a)
+        pool.release(b)
+        assert pool.stats().pending_discards == 2
+        # every slot is dead-until-flushed: nothing may be handed out
+        assert pool.acquire() is None
+        pool.flush_discards()
+        assert pool.stats().pending_discards == 0
+        assert pool.acquire() is not None
+
+    def test_flush_does_not_discard_live_slot_heap(self, params):
+        """Regression for the dirty-slot recycling bug: acquire after a
+        batched release used to hand back the pending slot, and the
+        later flush_discards zapped the *live* instance's heap."""
+        pool = self._pool(params, HfiStrategy(), slots=2, batch=True)
+        dead = pool.acquire()
+        pool.release(dead)                       # pending discard
+        live = pool.acquire()                    # must be the other slot
+        assert live is not None
+        assert live.index != dead.index
+        pool.space.write(live.heap_base, 0xFEED, 8, check=False)
+        pool.flush_discards()
+        assert live.in_use
+        assert pool.space.read(live.heap_base, 8, check=False) == 0xFEED
+        assert pool.space.read(dead.heap_base, 8, check=False) == 0
+
     def test_hfi_batching_beats_guard_batching(self, params):
         """The §6.3.1 economics via the pool interface."""
         def recycled_cost(strategy):

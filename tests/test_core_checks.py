@@ -163,3 +163,60 @@ class TestHardwareComparator:
     def test_negative_operands_rejected(self):
         ok, _ = hmov_check_hardware(LARGE, (1 << 64) - 1, 1, 0)
         assert not ok
+
+    @pytest.mark.parametrize("size", [1, 2, 4, 8])
+    def test_last_byte_in_bounds_accepted(self, size):
+        ok, ea = hmov_check_hardware(LARGE, 0, 1, LARGE.bound - size,
+                                     size)
+        assert ok
+        assert ea == LARGE.base_address + LARGE.bound - size
+
+    @pytest.mark.parametrize("size", [2, 4, 8])
+    def test_dangling_tail_rejected(self, size):
+        """Regression: the comparator used to check only the access's
+        first byte, admitting wide accesses whose tail crossed the
+        bound."""
+        ok, _ = hmov_check_hardware(LARGE, 0, 1, LARGE.bound - size + 1,
+                                    size)
+        assert not ok
+        ok, _ = hmov_check_hardware(SMALL, 0, 1,
+                                    SMALL.bound - size + 1, size)
+        assert not ok
+
+    @pytest.mark.parametrize("size", [1, 2, 4, 8])
+    def test_small_region_last_byte(self, size):
+        ok, _ = hmov_check_hardware(SMALL, 0, 1, SMALL.bound - size,
+                                    size)
+        assert ok
+
+    def test_tail_wrap_past_2_64_rejected(self):
+        """An access whose first byte computes but whose last byte
+        wraps past 2^64 must be rejected, matching the golden
+        HMOV_OVERFLOW."""
+        top = ExplicitDataRegion((1 << 64) - (1 << 32), 1 << 32,
+                                 permission_read=True,
+                                 permission_write=True,
+                                 is_large_region=False)
+        ok, _ = hmov_check_hardware(top, 0, 1, (1 << 32) - 8, 8)
+        assert ok                       # last byte is exactly 2^64 - 1
+        ok, _ = hmov_check_hardware(top, 0, 1, (1 << 32) - 4, 8)
+        assert not ok                   # tail wraps
+        with pytest.raises(HfiFault) as excinfo:
+            hmov_effective_address(top, 0, 1, (1 << 32) - 4, 8, False)
+        assert excinfo.value.cause is FaultCause.HMOV_OVERFLOW
+
+    @pytest.mark.parametrize("size", [1, 2, 4, 8])
+    def test_sized_agreement_with_golden(self, size):
+        """At every size the comparator and the golden model agree
+        across the boundary of both region shapes."""
+        for region in (LARGE, SMALL):
+            for offset in range(region.bound - 2 * size,
+                                region.bound + 2 * size):
+                ok, _ = hmov_check_hardware(region, 0, 1, offset, size)
+                try:
+                    hmov_effective_address(region, 0, 1, offset, size,
+                                           False)
+                    golden_ok = True
+                except HfiFault:
+                    golden_ok = False
+                assert ok is golden_ok, (region, offset, size)

@@ -76,6 +76,29 @@ def test_hmov_hardware_matches_golden_semantics(region, offset, scale):
 
 
 @given(region=st.one_of(large_regions, small_regions),
+       offset=st.integers(0, 1 << 50),
+       scale=st.sampled_from([1, 2, 4, 8]),
+       size=st.sampled_from([1, 2, 4, 8]))
+@settings(max_examples=400, deadline=None)
+def test_hmov_hardware_matches_golden_at_every_size(region, offset,
+                                                    scale, size):
+    """Regression: the comparator must test the access's *last* byte,
+    so wide accesses straddling the bound are rejected exactly when the
+    golden model rejects them."""
+    index = offset // scale
+    disp = offset - index * scale
+    hw_ok, hw_ea = hmov_check_hardware(region, index, scale, disp, size)
+    try:
+        hmov_effective_address(region, index, scale, disp, size, False)
+        golden_ok = True
+    except HfiFault:
+        golden_ok = False
+    assert hw_ok == golden_ok
+    if hw_ok:
+        assert hw_ea == region.base_address + offset
+
+
+@given(region=st.one_of(large_regions, small_regions),
        value=st.integers(1 << 63, (1 << 64) - 1),
        scale=st.sampled_from([1, 2, 4, 8]))
 @settings(max_examples=100, deadline=None)

@@ -4,7 +4,7 @@ and the masking compatibility guard."""
 import pytest
 
 from repro.params import MachineParams
-from repro.runtime import MultiplexModel
+from repro.runtime import MultiplexModel, ScheduleOutcome
 from repro.wasm import CompatibilityError, MaskingStrategy, WasmRuntime
 from repro.wasm.ir import Const, Function, Module
 
@@ -44,6 +44,37 @@ class TestMultiplexModel:
         model = MultiplexModel(params)
         outcome = model.single_process(64, 1_000_000)
         assert 0.0 < outcome.switch_share < 0.05
+
+    def test_switch_share_stays_a_fraction_under_heavy_switching(
+            self, params):
+        """Regression: switch_share divided the *aggregate* switch
+        cycles by the *per-core* wall clock, so switch-heavy multi-core
+        schedules reported shares above 1.0."""
+        model = MultiplexModel(params, cores=8)
+        for outcome in (model.multi_process(256, 20_000,
+                                            slice_cycles=1_000),
+                        model.single_process(256, 20_000,
+                                             slice_cycles=1_000)):
+            assert 0.0 <= outcome.switch_share <= 1.0
+            assert outcome.busy_cycles >= outcome.total_cycles
+            assert outcome.switch_share == pytest.approx(
+                outcome.switch_cycles / outcome.busy_cycles)
+
+    def test_switch_share_uses_busy_cycle_denominator(self):
+        # aggregate switch work across 10 cores vs a 100-cycle wall
+        # clock: the old per-core denominator reported 7.0
+        outcome = ScheduleOutcome("hfi", total_cycles=100,
+                                  switch_cycles=700, switches=7,
+                                  busy_cycles=1_000)
+        assert outcome.switch_share == pytest.approx(0.7)
+        # legacy constructions without busy_cycles fall back to the
+        # wall clock but are clamped into [0, 1]
+        legacy = ScheduleOutcome("hfi", total_cycles=100,
+                                 switch_cycles=700, switches=7)
+        assert legacy.switch_share == 1.0
+        idle = ScheduleOutcome("hfi", total_cycles=0, switch_cycles=0,
+                               switches=0)
+        assert idle.switch_share == 0.0
 
 
 class TestMaskingCompatibility:
