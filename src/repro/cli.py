@@ -8,6 +8,7 @@ Examples::
     repro-hfi attack pht --hfi
     repro-hfi nginx
     repro-hfi heap-growth
+    repro-hfi chaos --seeds 50
 
 (Installed as the ``repro-hfi`` console script; also runnable as
 ``python -m repro.cli``.)
@@ -323,6 +324,50 @@ def cmd_verify(args) -> int:
     return 0 if stats.clean else 1
 
 
+def cmd_chaos(args) -> int:
+    """Run the chaos soak: seeded fault-injection through the
+    supervised runtime (repro.chaos).
+
+    Exit status 0 iff every seeded run ends clean: zero leaked pool
+    slots, zero zombie sandboxes, clean pool invariants, and every
+    injected fault classified (retried/shed/quarantined/killed)."""
+    from .chaos import run_soak
+
+    if args.seeds < 1:
+        raise SystemExit("--seeds must be >= 1")
+    if not 0.0 <= args.fault_rate <= 1.0:
+        raise SystemExit("--fault-rate must be in [0, 1]")
+    seeds = range(args.seed_base, args.seed_base + args.seeds)
+    report = run_soak(seeds, n_requests=args.requests,
+                      fault_rate=args.fault_rate,
+                      strategy=args.strategy,
+                      baseline=not args.no_baseline)
+    breakdown = report.breakdown()
+    retained = report.goodput_retained
+    lines = [
+        f"soak runs:         {report.runs} "
+        f"(seeds {seeds.start}..{seeds.stop - 1}, "
+        f"{args.requests} requests each, "
+        f"fault rate {args.fault_rate:.0%})",
+        f"faults injected:   {report.injected} "
+        f"({', '.join(f'{k}={v}' for k, v in sorted(breakdown.items()))})",
+        f"unaccounted:       {report.unaccounted}",
+        f"leaked slots:      {report.leaked_slots}",
+        f"zombie sandboxes:  {report.zombie_sandboxes}",
+        f"invariant issues:  {report.invariant_violations}",
+    ]
+    if retained is not None:
+        lines.append(f"goodput retained:  {retained:.1%} of fault-free")
+    lines.append(
+        f"verdict:           {'CLEAN' if report.clean else 'DIRTY'}")
+    lines += [f"  FAIL: {failure}" for failure in report.failures()]
+    payload = report.as_dict()
+    if not args.verbose:
+        payload.pop("seeds", None)
+    _emit(args, payload, "\n".join(lines))
+    return 0 if report.clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-hfi",
@@ -398,6 +443,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--comparator-trials", type=int, default=20_000,
                    help="randomized comparator fuzz trials")
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "chaos", parents=[output],
+        help="seeded fault-injection soak through the supervised "
+             "runtime")
+    p.add_argument("--seeds", type=int, default=50,
+                   help="number of seeded soak runs (default 50)")
+    p.add_argument("--seed-base", type=int, default=0,
+                   help="first seed (CI rotates this nightly)")
+    p.add_argument("--requests", type=int, default=200,
+                   help="base requests per seeded run")
+    p.add_argument("--fault-rate", type=float, default=0.05,
+                   help="per-request fault-injection probability")
+    p.add_argument("--strategy", default="hfi",
+                   choices=sorted(STRATEGIES),
+                   help="isolation strategy backing the pool slots")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="skip the fault-free baseline runs (faster; "
+                        "omits goodput-retained)")
+    p.add_argument("--verbose", action="store_true",
+                   help="include per-seed detail in --json output")
+    p.set_defaults(func=cmd_chaos)
     return parser
 
 

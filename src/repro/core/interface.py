@@ -115,6 +115,18 @@ class Hfi:
                                     cause=outcome.cause.name)
         return outcome
 
+    def fault(self, cause: FaultCause, addr: int = 0) -> ExitOutcome:
+        """An HFI violation while sandboxed (§3.3.2): disable the
+        sandbox, record the cause MSR, leave via the OS signal path."""
+        outcome = self.state.fault(cause, addr)
+        self.cycles += outcome.cycles
+        if self.telemetry.enabled:
+            self.telemetry.count("hfi.fault")
+            self.telemetry.add_cycles("hfi.transition", outcome.cycles)
+            self.telemetry.end_span(self.cycles, name="hfi.sandbox",
+                                    cause=outcome.cause.name)
+        return outcome
+
     def reenter(self) -> int:
         return self._charge(self.state.reenter())
 

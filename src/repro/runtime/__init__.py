@@ -1,16 +1,36 @@
-"""Trusted runtimes: sandbox management, transitions, FaaS serving."""
+"""Trusted runtimes: sandbox management, transitions, FaaS serving,
+and the supervised (robustness) serving loop."""
 
 from .chaining import ChainHop, ChainModel
 from .faas import FaasMetrics, FaasServer, percentile
 from .pool import InstancePool, PoolSlot
-from .sandbox import InvokeResult, SandboxHandle, SandboxManager
+from .sandbox import (
+    InvokeResult,
+    SandboxError,
+    SandboxHandle,
+    SandboxManager,
+)
 from .scheduling import MultiplexModel, ScheduleOutcome
 from .startup import StartupModel
+from .supervisor import (
+    CLASSIFICATIONS,
+    FaultKind,
+    Injection,
+    Priority,
+    Request,
+    RequestOutcome,
+    Supervisor,
+    SupervisorConfig,
+    TenantBreaker,
+)
 from .transitions import TransitionKind, TransitionModel
 
 __all__ = [
     "FaasMetrics", "FaasServer", "percentile", "InvokeResult",
-    "SandboxHandle", "SandboxManager", "TransitionKind",
+    "SandboxError", "SandboxHandle", "SandboxManager", "TransitionKind",
     "TransitionModel", "ChainHop", "ChainModel", "InstancePool",
     "PoolSlot", "StartupModel", "MultiplexModel", "ScheduleOutcome",
+    "Supervisor", "SupervisorConfig", "Request",
+    "RequestOutcome", "Priority", "FaultKind", "Injection",
+    "TenantBreaker", "CLASSIFICATIONS",
 ]

@@ -27,7 +27,15 @@ from ..telemetry.sink import NULL_TELEMETRY, Telemetry
 
 @dataclass
 class FaasMetrics:
-    """Results of one simulated run."""
+    """Results of one simulated run.
+
+    Latency stats (``avg``/``p99``) cover *successful* requests only —
+    a failed invocation has no completion latency to report, and
+    folding its (shorter) abort time into the percentiles would make a
+    failing scheme look faster.  Failures show up in ``failed`` and in
+    the gap between ``throughput_rps`` (everything that left the
+    system) and ``goodput_rps`` (successful completions per second).
+    """
 
     scheme: str
     requests: int
@@ -36,6 +44,12 @@ class FaasMetrics:
     throughput_rps: float
     utilization: float
     binary_size: int = 0
+    failed: int = 0
+    goodput_rps: float = 0.0
+
+    @property
+    def succeeded(self) -> int:
+        return self.requests - self.failed
 
     def latency_ms(self) -> float:
         return self.avg_latency_s * 1e3
@@ -69,7 +83,9 @@ class FaasServer:
                  arrival_rate_rps: Optional[float] = None,
                  offered_utilization: float = 0.7,
                  per_request_overhead_cycles: int = 0,
-                 binary_size: int = 0) -> FaasMetrics:
+                 binary_size: int = 0,
+                 failure_rate: float = 0.0,
+                 failure_service_fraction: float = 0.5) -> FaasMetrics:
         """Simulate ``n_requests`` through the node.
 
         ``service_cycles`` is the sandboxed work per request (measured
@@ -78,6 +94,12 @@ class FaasServer:
         is None it is derived from ``offered_utilization`` relative to
         the *given* service time — pass an absolute rate to compare
         schemes under identical offered load (as the paper does).
+
+        ``failure_rate`` makes that fraction of invocations fault; a
+        failed request holds its worker for
+        ``failure_service_fraction`` of the service time (the guest
+        faults partway through) and is reported separately — it never
+        contributes a sample to the success-latency distribution.
         """
         service_s = self.params.cycles_to_seconds(
             service_cycles + per_request_overhead_cycles)
@@ -97,20 +119,29 @@ class FaasServer:
         workers = [0.0] * self.n_workers
         heapq.heapify(workers)
         latencies = []
+        failed = 0
         busy_time = 0.0
         last_finish = 0.0
+        failed_service_s = service_s * failure_service_fraction
         for arrival in arrivals:
             free_at = heapq.heappop(workers)
             start = max(arrival, free_at)
-            finish = start + service_s
+            faults = failure_rate > 0 and rng.random() < failure_rate
+            held = failed_service_s if faults else service_s
+            finish = start + held
             heapq.heappush(workers, finish)
-            latencies.append(finish - arrival)
-            busy_time += service_s
+            if faults:
+                failed += 1
+            else:
+                latencies.append(finish - arrival)
+            busy_time += held
             last_finish = max(last_finish, finish)
 
         makespan = max(last_finish, arrivals[-1]) or 1e-12
         if self.telemetry.enabled:
             self.telemetry.count("faas.requests", n_requests)
+            if failed:
+                self.telemetry.count("faas.failed", failed)
             self.telemetry.count(f"faas.runs[{scheme}]")
             histogram = self.telemetry.observe
             cycles_per_s = 1.0 / self.params.cycles_to_seconds(1)
@@ -121,12 +152,15 @@ class FaasServer:
                 "faas.simulate", 0, scheme=scheme, requests=n_requests,
                 utilization=round(busy_time / (makespan * self.n_workers),
                                   4))
+        n_ok = len(latencies)
         return FaasMetrics(
             scheme=scheme,
             requests=n_requests,
-            avg_latency_s=sum(latencies) / len(latencies),
+            avg_latency_s=sum(latencies) / n_ok if n_ok else 0.0,
             p99_latency_s=percentile(latencies, 99.0),
             throughput_rps=n_requests / makespan,
             utilization=busy_time / (makespan * self.n_workers),
             binary_size=binary_size,
+            failed=failed,
+            goodput_rps=n_ok / makespan,
         )

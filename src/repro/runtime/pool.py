@@ -19,6 +19,10 @@ from ..telemetry.sink import Telemetry, coalesce
 from ..telemetry.stats import PoolStats
 from ..wasm.strategies import IsolationStrategy
 
+#: Bytes written/read back by the scrub's poison-verify pass.
+SCRUB_PROBE_BYTES = 256
+SCRUB_POISON = 0x5A
+
 
 @dataclass
 class PoolSlot:
@@ -27,6 +31,7 @@ class PoolSlot:
     heap_bytes: int
     in_use: bool = False
     dirty: bool = False
+    quarantined: bool = False
 
 
 class InstancePool:
@@ -46,6 +51,7 @@ class InstancePool:
         self.slots: List[PoolSlot] = []
         self._free: List[int] = []
         self._pending_discard: List[PoolSlot] = []
+        self._quarantined: List[int] = []
         # Optional sanitizer probe (repro.verify.invariants.PoolInvariants);
         # None in production runs so the hot paths stay branch-cheap.
         self.invariants = None
@@ -54,6 +60,9 @@ class InstancePool:
         self.acquires = 0
         self.releases = 0
         self.batched_flushes = 0
+        self.quarantines = 0
+        self.scrubs = 0
+        self.scrub_failures = 0
         for i in range(slots):
             base, cost = strategy.reserve_memory(
                 space, heap_bytes, name=f"pool-slot{i}")
@@ -146,6 +155,91 @@ class InstancePool:
         return cost
 
     # ------------------------------------------------------------------
+    # quarantine: the supervised runtime's fault containment path
+    # ------------------------------------------------------------------
+    @property
+    def quarantined(self) -> int:
+        return len(self._quarantined)
+
+    def quarantine(self, slot: PoolSlot) -> None:
+        """Pull a slot out of circulation after a fault touched it.
+
+        A quarantined slot sits on neither the free list nor the
+        pending-discard batch; it only returns to service through
+        :meth:`scrub`, which poison-verifies the mapping first.
+        Idempotent, and accepts slots in any state (in-use at fault
+        time, already released, or pending a batched discard).
+        """
+        if slot.quarantined:
+            return
+        slot.in_use = False
+        slot.dirty = True
+        slot.quarantined = True
+        if slot.index in self._free:
+            self._free.remove(slot.index)
+        self._pending_discard = [s for s in self._pending_discard
+                                 if s is not slot]
+        self._quarantined.append(slot.index)
+        self.quarantines += 1
+        if self.telemetry.enabled:
+            self.telemetry.count("pool.quarantine")
+        if self.invariants is not None:
+            self.invariants.on_quarantine(self, slot)
+
+    def scrub(self, slot: PoolSlot) -> int:
+        """Poison-verify a quarantined slot and return it to the free
+        list.  Returns the cycles charged.
+
+        The verify pass is the §3.3.2 trust boundary made mechanical:
+        discard the (possibly corrupted) contents, write a poison
+        pattern and read it back to prove the mapping is still sane
+        RW memory, then discard again so the next instance observes a
+        zero-filled heap.  A slot that fails verification stays
+        quarantined (``scrub_failures``) rather than re-entering
+        service.
+        """
+        if not slot.quarantined:
+            raise ValueError(f"slot {slot.index} is not quarantined")
+        probe = min(SCRUB_PROBE_BYTES, slot.heap_bytes)
+        pattern = bytes([SCRUB_POISON]) * probe
+        cost = (self.params.syscall_cycles
+                + self.space.madvise_dontneed(slot.heap_base,
+                                              slot.heap_bytes))
+        self.space.write_bytes(slot.heap_base, pattern, check=False)
+        verified = (self.space.read_bytes(slot.heap_base, probe,
+                                          check=False) == pattern)
+        cost += (self.params.syscall_cycles
+                 + self.space.madvise_dontneed(slot.heap_base,
+                                               slot.heap_bytes))
+        verified = verified and (self.space.read_bytes(
+            slot.heap_base, probe, check=False) == bytes(probe))
+        cost += 4 * probe // 64  # the two write+read probe sweeps
+        if not verified:
+            self.scrub_failures += 1
+            if self.telemetry.enabled:
+                self.telemetry.count("pool.scrub_failure")
+            return cost
+        self._quarantined.remove(slot.index)
+        slot.quarantined = False
+        slot.dirty = False
+        self._free.append(slot.index)
+        self.scrubs += 1
+        self.recycle_cycles += cost
+        if self.telemetry.enabled:
+            self.telemetry.count("pool.scrub")
+            self.telemetry.add_cycles("pool.recycle", cost)
+        if self.invariants is not None:
+            self.invariants.on_scrub(self, slot)
+        return cost
+
+    def scrub_all(self) -> int:
+        """Scrub every quarantined slot; returns total cycles."""
+        total = 0
+        for index in list(self._quarantined):
+            total += self.scrub(self.slots[index])
+        return total
+
+    # ------------------------------------------------------------------
     def stats(self) -> PoolStats:
         """Uniform component-stats snapshot (``repro.telemetry``)."""
         return PoolStats(
@@ -154,4 +248,8 @@ class InstancePool:
             releases=self.releases, batched_flushes=self.batched_flushes,
             setup_cycles=self.setup_cycles,
             recycle_cycles=self.recycle_cycles,
-            pending_discards=len(self._pending_discard))
+            pending_discards=len(self._pending_discard),
+            quarantined=self.quarantined,
+            quarantines=self.quarantines,
+            scrubs=self.scrubs,
+            scrub_failures=self.scrub_failures)

@@ -22,10 +22,16 @@ from ..core import (
     SandboxDescriptor,
 )
 from ..os.address_space import AddressSpace, Prot
+from ..os.signals import SigInfo, Signal, SignalTable
 from ..params import DEFAULT_PARAMS, MachineParams
 from ..telemetry.sink import Telemetry, coalesce
 from ..telemetry.stats import SandboxManagerStats, SandboxStats
 from .transitions import TransitionKind, TransitionModel
+
+
+class SandboxError(RuntimeError):
+    """A sandbox lifecycle operation was invalid (unknown handle,
+    double destroy, invoke of a destroyed sandbox)."""
 
 
 @dataclass
@@ -124,9 +130,13 @@ class SandboxManager:
 
     def __init__(self, params: MachineParams = DEFAULT_PARAMS,
                  space: Optional[AddressSpace] = None,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None,
+                 signals: Optional[SignalTable] = None):
         self.params = params
         self.space = space if space is not None else AddressSpace(params)
+        #: Where faulting invocations are delivered as SIGSEGV (§3.3.2);
+        #: the supervisor registers its handler here.
+        self.signals = signals
         self.telemetry = coalesce(telemetry)
         self.hfi = Hfi(params, telemetry=self.telemetry)
         self.transitions = TransitionModel(params, telemetry=self.telemetry)
@@ -244,6 +254,47 @@ class SandboxManager:
         result.cycles += recycle
         return result
 
+    def invoke_faulting(self, handle: SandboxHandle, service_cycles: int,
+                        cause: FaultCause = FaultCause.DATA_OUT_OF_BOUNDS,
+                        *, fault_addr: int = 0, progress: float = 0.5,
+                        ) -> InvokeResult:
+        """One invocation that faults partway through the guest's work.
+
+        Architecturally (§3.3.2) the HFI check fails, the sandbox is
+        disabled, the cause lands in the MSR, and the trap is delivered
+        as SIGSEGV to the trusted runtime — here, into the manager's
+        :class:`~repro.os.signals.SignalTable` if one is wired, which
+        is how the supervisor observes guest faults.
+        """
+        if handle.sandbox_id not in self._handles:
+            raise SandboxError(
+                f"invoke of unknown/destroyed sandbox {handle.sandbox_id}")
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.count("sandbox.fault")
+        enter = self.hfi.enter(handle.descriptor)
+        outcome = self.hfi.fault(cause, fault_addr)
+        done = int(service_cycles * max(0.0, min(1.0, progress)))
+        total = (enter + done + outcome.cycles
+                 + self.params.signal_delivery_cycles)
+        handle.invocations += 1
+        self.invocations += 1
+        self._attribute(handle, total)
+        if self.signals is not None:
+            self.signals.deliver(SigInfo(
+                Signal.SIGSEGV, fault_addr=fault_addr,
+                hfi_cause=int(cause),
+                description=f"sandbox {handle.sandbox_id}: {cause.name}"))
+        if telemetry.enabled:
+            telemetry.event("sandbox.fault", self.total_cycles,
+                            sandbox_id=handle.sandbox_id,
+                            cause=cause.name)
+        return InvokeResult(
+            reason="fault", cycles=total, sandbox_id=handle.sandbox_id,
+            invocation=handle.invocations, enter_cycles=enter,
+            exit_cycles=outcome.cycles, service_cycles=done,
+            fault=cause, cause=cause)
+
     def grow_heap(self, handle: SandboxHandle, new_bytes: int) -> int:
         """Resize the sandbox's explicit region — a register update."""
         for i, (number, region) in enumerate(handle.descriptor.regions):
@@ -263,7 +314,17 @@ class SandboxManager:
                         *, discard_memory: bool = True) -> int:
         """Tear down: HFI itself needs nothing; memory discard is the
         developer's choice (§3 footnote: HFI does isolation, not
-        resource management)."""
+        resource management).
+
+        Destroying an unknown or already-destroyed handle raises a
+        typed :class:`SandboxError` — a double reap is a supervisor
+        accounting bug and must not pass silently (or surface as a
+        bare ``KeyError``).
+        """
+        if self._handles.get(handle.sandbox_id) is not handle:
+            raise SandboxError(
+                f"destroy of unknown or already-destroyed sandbox "
+                f"{handle.sandbox_id}")
         cost = 0
         if discard_memory:
             cost = (self.params.syscall_cycles
@@ -275,6 +336,17 @@ class SandboxManager:
             self.telemetry.count("sandbox.destroy")
             self.telemetry.event("sandbox.destroy", self.total_cycles,
                                  sandbox_id=handle.sandbox_id)
+        return cost
+
+    def reap_all(self, *, discard_memory: bool = True) -> int:
+        """Destroy every live sandbox; returns the total cycle cost.
+
+        The supervisor's shutdown/abandon path: after a chaos run or a
+        serving-loop teardown, no zombie sandboxes may survive."""
+        cost = 0
+        for handle in list(self._handles.values()):
+            cost += self.destroy_sandbox(handle,
+                                         discard_memory=discard_memory)
         return cost
 
     @property

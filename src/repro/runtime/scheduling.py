@@ -29,6 +29,22 @@ class ScheduleOutcome:
     switch_cycles: int
     switches: int
     busy_cycles: int = 0
+    requests: int = 0
+    #: Invocations that faulted mid-run: they burned slices (and
+    #: switches) but produced nothing — surfaced separately so failure
+    #: cost is visible instead of silently inflating throughput.
+    failed: int = 0
+
+    @property
+    def completed(self) -> int:
+        return max(0, self.requests - self.failed)
+
+    @property
+    def goodput_per_mcycle(self) -> float:
+        """Successful requests per million wall-clock cycles."""
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.completed / (self.total_cycles / 1e6)
 
     @property
     def switch_share(self) -> float:
@@ -57,10 +73,19 @@ class MultiplexModel:
     # ------------------------------------------------------------------
     def _simulate(self, n_requests: int, service_cycles: int,
                   slice_cycles: int, switch_cost: int,
-                  mechanism: str) -> ScheduleOutcome:
+                  mechanism: str, failure_rate: float = 0.0,
+                  failure_progress: float = 0.5) -> ScheduleOutcome:
         slices_per_request = math.ceil(service_cycles / slice_cycles)
-        total_slices = n_requests * slices_per_request
-        work = n_requests * service_cycles
+        failed = min(n_requests, int(round(n_requests * failure_rate)))
+        # A failing request runs ``failure_progress`` of its slices
+        # before faulting; that partial work still costs slices and
+        # switch overhead but yields no completion.
+        failed_slices = max(1, math.ceil(
+            slices_per_request * failure_progress))
+        ok = n_requests - failed
+        total_slices = ok * slices_per_request + failed * failed_slices
+        work = (ok * service_cycles
+                + failed * failed_slices * slice_cycles)
         # every slice boundary is a switch (round-robin among more
         # runnable contexts than cores)
         switches = total_slices
@@ -71,25 +96,31 @@ class MultiplexModel:
             total_cycles=math.ceil(busy / self.cores),
             switch_cycles=switch_cycles,
             switches=switches,
-            busy_cycles=busy)
+            busy_cycles=busy,
+            requests=n_requests,
+            failed=failed)
 
     def single_process(self, n_requests: int, service_cycles: int,
                        slice_cycles: int = 50_000,
-                       serialized: bool = False) -> ScheduleOutcome:
+                       serialized: bool = False,
+                       failure_rate: float = 0.0) -> ScheduleOutcome:
         """One process, HFI sandbox per request, runtime-multiplexed."""
         cost = self.transitions.round_trip(
             TransitionKind.ZERO_COST, serialized=serialized,
             regions_installed=3)
         return self._simulate(n_requests, service_cycles, slice_cycles,
-                              cost, "single-process-hfi")
+                              cost, "single-process-hfi",
+                              failure_rate=failure_rate)
 
     def multi_process(self, n_requests: int, service_cycles: int,
-                      slice_cycles: int = 50_000) -> ScheduleOutcome:
+                      slice_cycles: int = 50_000,
+                      failure_rate: float = 0.0) -> ScheduleOutcome:
         """One process per request; the OS context-switches them."""
         cost = (self.params.process_context_switch_cycles
                 + self.params.xsave_cycles + self.params.xrstor_cycles)
         return self._simulate(n_requests, service_cycles, slice_cycles,
-                              cost, "multi-process")
+                              cost, "multi-process",
+                              failure_rate=failure_rate)
 
     # ------------------------------------------------------------------
     def advantage(self, n_requests: int = 512,

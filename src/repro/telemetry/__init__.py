@@ -23,6 +23,7 @@ from .stats import (
     KernelStats,
     PoolStats,
     PredictorStats,
+    RobustnessStats,
     SandboxManagerStats,
     SandboxStats,
     StatsAccessor,
@@ -38,7 +39,7 @@ __all__ = [
     "ComponentStats", "StatsAccessor", "CacheStats", "TlbStats",
     "PredictorStats", "TracerStats", "SandboxStats",
     "SandboxManagerStats", "HfiDeviceStats", "PoolStats", "KernelStats",
-    "VerifyStats",
+    "VerifyStats", "RobustnessStats",
     "to_json", "metrics_to_csv", "spans_to_csv", "attribution_to_csv",
     "write_json", "write_csv",
 ]

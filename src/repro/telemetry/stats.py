@@ -203,6 +203,10 @@ class PoolStats(ComponentStats):
     setup_cycles: int = 0
     recycle_cycles: int = 0
     pending_discards: int = 0
+    quarantined: int = 0
+    quarantines: int = 0
+    scrubs: int = 0
+    scrub_failures: int = 0
 
 
 @dataclass
@@ -264,6 +268,44 @@ class SpeculationJournalStats(ComponentStats):
 
 
 @dataclass
+class RobustnessStats(ComponentStats):
+    """The supervised runtime's fault ledger (``repro.runtime.supervisor``).
+
+    Every request ends in exactly one of ``succeeded``/``failed``/
+    ``shed``; every *injected or observed* fault ends in exactly one of
+    ``retried``/``shed``/``quarantined``/``killed`` — the chaos soak
+    gate asserts both partitions are exact.
+    """
+
+    requests: int = 0
+    succeeded: int = 0
+    failed: int = 0
+    shed: int = 0
+    retried: int = 0
+    quarantined: int = 0
+    killed: int = 0
+    watchdog_kills: int = 0
+    sandboxes_reaped: int = 0
+    breaker_trips: int = 0
+    breaker_shed: int = 0
+    retry_attempts: int = 0
+    backoff_cycles: int = 0
+    scrub_cycles: int = 0
+    total_cycles: int = 0
+    signals_handled: int = 0
+
+    @property
+    def goodput(self) -> float:
+        """Successful requests per simulated cycle (×1e6 for legibility
+        is left to presentation layers)."""
+        return self.succeeded / self.total_cycles if self.total_cycles else 0.0
+
+    @property
+    def success_rate(self) -> float:
+        return self.succeeded / self.requests if self.requests else 0.0
+
+
+@dataclass
 class VerifyStats(ComponentStats):
     """Correctness-tooling counters from the ``repro.verify`` layer.
 
@@ -285,10 +327,18 @@ class VerifyStats(ComponentStats):
     poison_hits: int = 0
     invariant_checks: int = 0
     invariant_violations: int = 0
+    chaos_runs: int = 0
+    chaos_faults_injected: int = 0
+    chaos_faults_unaccounted: int = 0
+    chaos_leaked_slots: int = 0
+    chaos_zombie_sandboxes: int = 0
 
     @property
     def clean(self) -> bool:
         return (self.divergences == 0
                 and self.unclassified_disagreements == 0
                 and self.poison_hits == 0
-                and self.invariant_violations == 0)
+                and self.invariant_violations == 0
+                and self.chaos_faults_unaccounted == 0
+                and self.chaos_leaked_slots == 0
+                and self.chaos_zombie_sandboxes == 0)

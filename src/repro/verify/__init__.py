@@ -14,6 +14,9 @@ recycling runtime:
 * :mod:`repro.verify.invariants` — sanitizer-style probes (pool
   poison-on-discard, free-list consistency, speculation identity),
   armed only on demand.
+* a short :mod:`repro.chaos` soak — seeded fault injection through the
+  supervised runtime, gated on zero leaked slots, zero zombie
+  sandboxes, and a fully accounted fault ledger.
 
 ``run_verify`` bundles all of it into one :class:`VerifyStats`
 verdict; the ``repro-hfi verify`` CLI subcommand and the CI ``verify``
@@ -131,6 +134,27 @@ def _pool_smoke(stats: VerifyStats, failures: List[str]) -> None:
         probe.uninstall()
 
 
+def _chaos_smoke(stats: VerifyStats, failures: List[str],
+                 seeds: Iterable[int] = range(4),
+                 params: Optional[MachineParams] = None) -> None:
+    """Short chaos soak as part of the gate: every seeded run must end
+    with zero leaked slots, zero zombie sandboxes, clean pool
+    invariants, and every injected fault classified."""
+    from ..chaos import run_soak
+
+    report = run_soak(seeds, n_requests=80, fault_rate=0.08,
+                      baseline=False, params=params)
+    stats.chaos_runs += report.runs
+    stats.chaos_faults_injected += report.injected
+    stats.chaos_faults_unaccounted += report.unaccounted
+    stats.chaos_leaked_slots += report.leaked_slots
+    stats.chaos_zombie_sandboxes += report.zombie_sandboxes
+    stats.invariant_violations += report.invariant_violations
+    stats.invariant_checks += sum(o.invariant_checks
+                                  for o in report.outcomes)
+    failures.extend(report.failures()[:12])
+
+
 def _speculation_smoke(stats: VerifyStats, failures: List[str]) -> None:
     """Run a mispredicting loop with the identity probe armed."""
     from ..cpu.machine import Cpu
@@ -200,6 +224,7 @@ def run_verify(seeds: Iterable[int] = range(50),
 
     _pool_smoke(stats, failures)
     _speculation_smoke(stats, failures)
+    _chaos_smoke(stats, failures, params=params)
 
     report = {
         "oracle_runs": stats.oracle_runs,
@@ -210,6 +235,13 @@ def run_verify(seeds: Iterable[int] = range(50),
             "classified": dict(comparator.counts),
             "boundary_trials": directed.trials,
             "unclassified": stats.unclassified_disagreements,
+        },
+        "chaos": {
+            "runs": stats.chaos_runs,
+            "faults_injected": stats.chaos_faults_injected,
+            "faults_unaccounted": stats.chaos_faults_unaccounted,
+            "leaked_slots": stats.chaos_leaked_slots,
+            "zombie_sandboxes": stats.chaos_zombie_sandboxes,
         },
         "poison_writes": stats.poison_writes,
         "poison_hits": stats.poison_hits,

@@ -48,13 +48,15 @@ class PoisonedReadError(InvariantViolation):
 
 
 def check_pool(pool) -> List[str]:
-    """Audit free-list/``in_use``/``_pending_discard`` consistency.
+    """Audit free-list/``in_use``/``_pending_discard``/quarantine
+    consistency.
 
     Returns a list of human-readable violations (empty when sound).
     """
     problems: List[str] = []
     free = list(pool._free)
     pending = [slot.index for slot in pool._pending_discard]
+    quarantined = list(getattr(pool, "_quarantined", []))
     if len(set(free)) != len(free):
         problems.append(f"free list has duplicates: {sorted(free)}")
     for index in free:
@@ -67,11 +69,28 @@ def check_pool(pool) -> List[str]:
                 f"free list (dirty-slot recycling)")
         if pool.slots[index].in_use:
             problems.append(f"slot {index} is pending discard but in_use")
+    for index in quarantined:
+        slot = pool.slots[index]
+        if not slot.quarantined:
+            problems.append(
+                f"slot {index} on the quarantine list without its "
+                f"quarantined flag")
+        if index in free:
+            problems.append(
+                f"slot {index} is quarantined but on the free list "
+                f"(unscrubbed reuse)")
+        if index in pending:
+            problems.append(
+                f"slot {index} is both quarantined and pending discard")
+        if slot.in_use:
+            problems.append(f"slot {index} is quarantined but in_use")
     in_use = sum(1 for slot in pool.slots if slot.in_use)
-    if len(free) + len(pending) + in_use != len(pool.slots):
+    total = len(free) + len(pending) + len(quarantined) + in_use
+    if total != len(pool.slots):
         problems.append(
             f"slot accounting leak: {len(free)} free + {len(pending)} "
-            f"pending + {in_use} in_use != {len(pool.slots)} slots")
+            f"pending + {len(quarantined)} quarantined + {in_use} "
+            f"in_use != {len(pool.slots)} slots")
     return problems
 
 
@@ -141,6 +160,19 @@ class PoolInvariants:
         self._unpoison(slot)
 
     def on_release(self, pool, slot, batched: bool) -> None:
+        self._poison(slot)
+        self._audit(pool)
+
+    def on_quarantine(self, pool, slot) -> None:
+        # The supervisor owns the slot while it is quarantined — its
+        # scrub legitimately probes the heap, so lift the poison until
+        # the scrub re-deadens it.
+        self._unpoison(slot)
+        self._audit(pool)
+
+    def on_scrub(self, pool, slot) -> None:
+        # Scrubbed slots are back on the free list: dead until the next
+        # acquire, exactly like a released-and-discarded slot.
         self._poison(slot)
         self._audit(pool)
 

@@ -68,3 +68,27 @@ class TestCli:
         assert main(["startup"]) == 0
         out = capsys.readouterr().out
         assert "container" in out and "wasm-instance-pooled" in out
+
+    def test_chaos_soak_clean(self, capsys):
+        assert main(["chaos", "--seeds", "3", "--requests", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "CLEAN" in out
+        assert "unaccounted:       0" in out
+        assert "leaked slots:      0" in out
+        assert "zombie sandboxes:  0" in out
+        assert "goodput retained:" in out
+
+    def test_chaos_json_payload(self, capsys):
+        import json
+        assert main(["chaos", "--seeds", "2", "--requests", "40",
+                     "--json", "--no-baseline"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is True
+        assert payload["runs"] == 2
+        assert payload["unaccounted"] == 0
+        assert payload["goodput_retained"] is None  # --no-baseline
+        assert "seeds" not in payload               # not --verbose
+
+    def test_chaos_rejects_bad_rate(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--fault-rate", "1.5"])

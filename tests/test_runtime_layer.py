@@ -158,6 +158,51 @@ class TestFaasServer:
         assert metrics.throughput_rps <= capacity * 1.01
 
 
+class TestFaasFailureSurfacing:
+    def test_failed_requests_are_reported_distinctly(self, params):
+        server = FaasServer(params=params, n_workers=2)
+        metrics = server.simulate("x", 1_000_000, n_requests=1000,
+                                  failure_rate=0.2)
+        assert 100 < metrics.failed < 300          # ~20% of 1000
+        assert metrics.succeeded == 1000 - metrics.failed
+        assert metrics.goodput_rps < metrics.throughput_rps
+
+    def test_failures_do_not_count_toward_success_latency(self, params):
+        """A failed invocation aborts early (shorter occupancy); if it
+        leaked into the percentiles it would *improve* them.  The
+        success-latency distribution must not shift down."""
+        server = FaasServer(params=params, n_workers=2)
+        rate = 0.5 * 2 / params.cycles_to_seconds(1_000_000)
+        clean = server.simulate("c", 1_000_000, n_requests=1000,
+                                arrival_rate_rps=rate)
+        faulty = server.simulate("f", 1_000_000, n_requests=1000,
+                                 arrival_rate_rps=rate,
+                                 failure_rate=0.3,
+                                 failure_service_fraction=0.01)
+        service_s = params.cycles_to_seconds(1_000_000)
+        # every surviving sample is a full-service completion
+        assert faulty.avg_latency_s >= service_s
+        assert faulty.p99_latency_s >= clean.p99_latency_s * 0.5
+        assert clean.failed == 0 and clean.goodput_rps == pytest.approx(
+            clean.throughput_rps)
+
+    def test_zero_failure_rate_is_bit_identical(self, params):
+        a = FaasServer(params=params, seed=5).simulate(
+            "a", 500_000, n_requests=300)
+        b = FaasServer(params=params, seed=5).simulate(
+            "a", 500_000, n_requests=300, failure_rate=0.0)
+        assert a == b
+
+    def test_all_failures_yield_no_latency_samples(self, params):
+        server = FaasServer(params=params, n_workers=2)
+        metrics = server.simulate("x", 1_000_000, n_requests=200,
+                                  failure_rate=1.0)
+        assert metrics.failed == 200
+        assert metrics.goodput_rps == 0.0
+        assert metrics.avg_latency_s == 0.0
+        assert metrics.p99_latency_s == 0.0
+
+
 class TestPercentile:
     def test_simple(self):
         values = [float(i) for i in range(1, 101)]

@@ -45,6 +45,31 @@ class TestMultiplexModel:
         outcome = model.single_process(64, 1_000_000)
         assert 0.0 < outcome.switch_share < 0.05
 
+    def test_failed_invocations_are_surfaced_distinctly(self, params):
+        model = MultiplexModel(params)
+        clean = model.single_process(200, 100_000)
+        faulty = model.single_process(200, 100_000, failure_rate=0.25)
+        assert clean.failed == 0 and clean.completed == 200
+        assert faulty.failed == 50 and faulty.completed == 150
+        assert faulty.requests == 200
+        # failures burn partial slices: cheaper than completing, but
+        # not free — goodput per cycle must drop
+        assert faulty.total_cycles < clean.total_cycles
+        assert faulty.goodput_per_mcycle < clean.goodput_per_mcycle
+
+    def test_zero_failure_rate_is_identical(self, params):
+        model = MultiplexModel(params)
+        assert (model.multi_process(128, 100_000)
+                == model.multi_process(128, 100_000, failure_rate=0.0))
+
+    def test_failures_still_pay_switch_overhead(self, params):
+        model = MultiplexModel(params)
+        faulty = model.multi_process(100, 100_000, slice_cycles=10_000,
+                                     failure_rate=1.0)
+        assert faulty.completed == 0
+        assert faulty.switches > 0 and faulty.switch_cycles > 0
+        assert faulty.goodput_per_mcycle == 0.0
+
     def test_switch_share_stays_a_fraction_under_heavy_switching(
             self, params):
         """Regression: switch_share divided the *aggregate* switch

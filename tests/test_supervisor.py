@@ -1,0 +1,311 @@
+"""Tests for the supervised serving loop (robustness layer).
+
+Covers the recovery state machine — watchdog kills, quarantine,
+retry/backoff, per-tenant circuit breaking, admission shedding — plus
+the sandbox-manager hardening it rides on (typed ``SandboxError``,
+``reap_all``, signal-delivered ``invoke_faulting``).
+"""
+
+import pytest
+
+from repro.core import FaultCause
+from repro.os.signals import Signal, SignalTable
+from repro.params import MachineParams
+from repro.runtime import (
+    FaultKind,
+    Injection,
+    InstancePool,
+    Priority,
+    Request,
+    SandboxError,
+    SandboxManager,
+    Supervisor,
+    SupervisorConfig,
+)
+from repro.verify import check_pool
+from repro.wasm import HfiStrategy
+
+
+@pytest.fixture
+def params():
+    return MachineParams()
+
+
+def build(params, slots=4, config=None, seed=0):
+    manager = SandboxManager(params)
+    pool = InstancePool(manager.space, HfiStrategy(), slots=slots,
+                        heap_bytes=1 << 14, params=params,
+                        batch_teardown=True)
+    return manager, pool, Supervisor(manager, pool, config, seed=seed)
+
+
+def requests(n, tenant="t0", service=40_000, spacing=10**7,
+             priority=Priority.NORMAL):
+    """Arrivals spaced far apart: no admission pressure by default."""
+    return [Request(index=i, tenant=tenant, service_cycles=service,
+                    arrival_cycle=i * spacing, priority=priority)
+            for i in range(n)]
+
+
+class FakeInjector:
+    """Minimal chaos planner: one FaultKind per chosen request index."""
+
+    def __init__(self, plan):
+        self.plan = {index: Injection(injection_id=k, request_index=index,
+                                      kind=kind)
+                     for k, (index, kind) in enumerate(sorted(plan.items()))}
+
+    def injection_for(self, index):
+        return self.plan.get(index)
+
+    def unaccounted(self):
+        return [i for i in self.plan.values() if i.classified is None]
+
+
+class TestSandboxHardening:
+    def test_destroy_unknown_handle_raises_typed_error(self, params):
+        manager = SandboxManager(params)
+        handle = manager.create_sandbox(heap_bytes=1 << 14)
+        manager.destroy_sandbox(handle)
+        with pytest.raises(SandboxError):
+            manager.destroy_sandbox(handle)
+
+    def test_reap_all_destroys_every_live_sandbox(self, params):
+        manager = SandboxManager(params)
+        for _ in range(3):
+            manager.create_sandbox(heap_bytes=1 << 14)
+        assert manager.live_sandboxes == 3
+        cost = manager.reap_all()
+        assert cost > 0
+        assert manager.live_sandboxes == 0
+        assert manager.reap_all() == 0      # idempotent on empty
+
+    def test_invoke_faulting_delivers_sigsegv_with_cause(self, params):
+        table = SignalTable()
+        manager = SandboxManager(params, signals=table)
+        handle = manager.create_sandbox(heap_bytes=1 << 14)
+        result = manager.invoke_faulting(
+            handle, 10_000, FaultCause.DATA_PERMISSION, fault_addr=0x40)
+        assert result.reason == "fault"
+        assert result.cause is FaultCause.DATA_PERMISSION
+        assert len(table.delivered) == 1
+        info = table.delivered[0]
+        assert info.signal is Signal.SIGSEGV
+        assert info.fault_addr == 0x40
+        assert FaultCause(info.hfi_cause) is FaultCause.DATA_PERMISSION
+
+    def test_invoke_faulting_unknown_handle_raises(self, params):
+        manager = SandboxManager(params)
+        handle = manager.create_sandbox(heap_bytes=1 << 14)
+        manager.destroy_sandbox(handle)
+        with pytest.raises(SandboxError):
+            manager.invoke_faulting(handle, 1_000)
+
+
+class TestCleanServing:
+    def test_all_requests_succeed_without_injection(self, params):
+        _, pool, sup = build(params)
+        outcomes = sup.serve(requests(12))
+        assert [o.status for o in outcomes] == ["ok"] * 12
+        assert sup.counters.succeeded == 12
+        assert sup.counters.shed == 0
+        assert check_pool(pool) == []
+
+    def test_shutdown_leaves_no_leaks(self, params):
+        manager, pool, sup = build(params)
+        sup.serve(requests(8))
+        sup.shutdown()
+        assert manager.live_sandboxes == 0
+        assert pool.available == len(pool.slots)
+        assert check_pool(pool) == []
+
+    def test_deterministic_given_seed(self, params):
+        results = []
+        for _ in range(2):
+            _, _, sup = build(params, seed=7)
+            injector = FakeInjector({2: FaultKind.GUEST_FAULT,
+                                     5: FaultKind.TRANSIENT_KERNEL})
+            outs = sup.serve(requests(8), injector)
+            results.append([(o.status, o.attempts, o.cycles)
+                            for o in outs])
+        assert results[0] == results[1]
+
+
+class TestRecoveryPaths:
+    def test_transient_kernel_fault_is_retried_with_backoff(
+            self, params):
+        _, _, sup = build(params)
+        injector = FakeInjector({1: FaultKind.TRANSIENT_KERNEL})
+        outcomes = sup.serve(requests(3), injector)
+        assert [o.status for o in outcomes] == ["ok"] * 3
+        assert outcomes[1].attempts == 2
+        assert injector.plan[1].classified == "retried"
+        assert sup.counters.retried == 1
+        assert sup.counters.backoff_cycles > 0
+
+    def test_heap_oom_is_remediated_and_retried(self, params):
+        _, pool, sup = build(params)
+        injector = FakeInjector({0: FaultKind.HEAP_OOM})
+        outcomes = sup.serve(requests(2), injector)
+        assert [o.status for o in outcomes] == ["ok"] * 2
+        assert injector.plan[0].classified == "retried"
+
+    def test_hang_is_killed_by_the_watchdog(self, params):
+        manager, pool, sup = build(params)
+        injector = FakeInjector({1: FaultKind.GUEST_HANG})
+        outcomes = sup.serve(requests(4), injector)
+        assert [o.status for o in outcomes] == ["ok"] * 4
+        assert injector.plan[1].classified == "killed"
+        assert sup.counters.watchdog_kills == 1
+        assert sup.counters.sandboxes_reaped >= 1
+        # the killed attempt burned the full watchdog budget
+        budget = sup._watchdog_budget(outcomes[1].request)
+        assert outcomes[1].cycles > budget
+        sup.shutdown()
+        assert manager.live_sandboxes == 0
+        assert pool.available == len(pool.slots)
+
+    def test_guest_fault_quarantines_and_recovers(self, params):
+        manager, pool, sup = build(params)
+        injector = FakeInjector({0: FaultKind.GUEST_FAULT})
+        outcomes = sup.serve(requests(3), injector)
+        assert [o.status for o in outcomes] == ["ok"] * 3
+        assert injector.plan[0].classified == "quarantined"
+        assert sup.counters.quarantined == 1
+        assert sup.counters.signals_handled == 1   # SIGSEGV arrived
+        assert pool.quarantines >= 1
+        sup.shutdown()
+        assert pool.available == len(pool.slots)
+        assert check_pool(pool) == []
+
+    def test_slot_corruption_is_caught_by_the_canary(self, params):
+        _, pool, sup = build(params)
+        injector = FakeInjector({2: FaultKind.SLOT_CORRUPTION})
+        outcomes = sup.serve(requests(4), injector)
+        # the answer stands, but the slot never recycles unscrubbed
+        assert [o.status for o in outcomes] == ["ok"] * 4
+        assert injector.plan[2].classified == "quarantined"
+        assert pool.quarantines == 1
+        assert injector.unaccounted() == []
+
+    def test_every_injection_is_classified_exactly_once(self, params):
+        _, _, sup = build(params)
+        injector = FakeInjector({0: FaultKind.TRANSIENT_KERNEL,
+                                 1: FaultKind.GUEST_HANG,
+                                 2: FaultKind.GUEST_FAULT,
+                                 3: FaultKind.SLOT_CORRUPTION,
+                                 4: FaultKind.HEAP_OOM})
+        sup.serve(requests(6), injector)
+        assert injector.unaccounted() == []
+        kinds = {i.kind: i.classified for i in injector.plan.values()}
+        assert kinds[FaultKind.TRANSIENT_KERNEL] == "retried"
+        assert kinds[FaultKind.HEAP_OOM] == "retried"
+        assert kinds[FaultKind.GUEST_HANG] == "killed"
+        assert kinds[FaultKind.GUEST_FAULT] == "quarantined"
+        assert kinds[FaultKind.SLOT_CORRUPTION] == "quarantined"
+
+
+class TestCircuitBreaker:
+    def test_consecutive_faults_trip_the_tenant_breaker(self, params):
+        config = SupervisorConfig(breaker_threshold=3)
+        _, _, sup = build(params, config=config)
+        # slot corruption does not reset the breaker on success
+        injector = FakeInjector({i: FaultKind.SLOT_CORRUPTION
+                                 for i in range(3)})
+        # tight arrivals: requests 3-4 land inside the cooldown window
+        outcomes = sup.serve(requests(5, spacing=1), injector)
+        assert sup.counters.breaker_trips == 1
+        assert sup.breaker("t0").state == "open"
+        # requests after the trip are shed while the circuit cools
+        assert [o.status for o in outcomes][3:] == ["shed", "shed"]
+        assert [o.detail for o in outcomes][3:] == ["breaker",
+                                                    "breaker"]
+        assert sup.counters.breaker_shed == 2
+
+    def test_half_open_probe_closes_the_circuit(self, params):
+        config = SupervisorConfig(breaker_threshold=2,
+                                  breaker_cooldown_cycles=1_000)
+        _, _, sup = build(params, config=config)
+        injector = FakeInjector({0: FaultKind.SLOT_CORRUPTION,
+                                 1: FaultKind.SLOT_CORRUPTION})
+        sup.serve(requests(2), injector)
+        assert sup.breaker("t0").state == "open"
+        # a later clean request (past the cooldown) probes and closes
+        late = Request(index=10, tenant="t0", service_cycles=40_000,
+                       arrival_cycle=sup.clock + 10_000)
+        outcome = sup.serve([late])[0]
+        assert outcome.status == "ok"
+        assert sup.breaker("t0").state == "closed"
+
+    def test_breakers_are_per_tenant(self, params):
+        config = SupervisorConfig(breaker_threshold=2)
+        _, _, sup = build(params, config=config)
+        bad = [Request(index=i, tenant="bad", service_cycles=40_000,
+                       arrival_cycle=i) for i in range(3)]
+        injector = FakeInjector({0: FaultKind.SLOT_CORRUPTION,
+                                 1: FaultKind.SLOT_CORRUPTION})
+        sup.serve(bad, injector)
+        assert sup.breaker("bad").state == "open"
+        good = Request(index=100, tenant="good", service_cycles=40_000,
+                       arrival_cycle=sup.clock)
+        assert sup.serve([good])[0].status == "ok"
+
+
+class TestAdmissionControl:
+    def test_overflow_sheds_lowest_priority_newest_first(self, params):
+        config = SupervisorConfig(queue_limit=4)
+        _, _, sup = build(params, config=config)
+        stream = []
+        for i in range(8):
+            priority = (Priority.HIGH if i in (1, 6)
+                        else Priority.LOW if i >= 4 else Priority.NORMAL)
+            stream.append(Request(index=i, tenant=f"t{i}",
+                                  service_cycles=30_000,
+                                  priority=priority, arrival_cycle=0))
+        outcomes = sup.serve(stream)
+        by_index = {o.request.index: o for o in outcomes}
+        shed = {i for i, o in by_index.items() if o.status == "shed"}
+        assert len(shed) == 4
+        # HIGH priority is never shed
+        assert 1 not in shed and 6 not in shed
+        # LOW goes before NORMAL, newest first within a priority
+        assert {7, 5, 4}.issubset(shed)
+
+    def test_burst_injection_is_accounted_as_shed(self, params):
+        config = SupervisorConfig(queue_limit=4)
+        _, _, sup = build(params, config=config)
+        burst = Injection(injection_id=0, request_index=0,
+                          kind=FaultKind.BURST_OVERLOAD)
+        stream = requests(1) + [
+            Request(index=10 + k, tenant="burst", service_cycles=5_000,
+                    priority=Priority.LOW, arrival_cycle=0,
+                    injection=burst)
+            for k in range(8)]
+        sup.serve(stream)
+        assert burst.classified == "shed"
+        assert sup.counters.shed > 0
+
+    def test_capacity_exhaustion_sheds_instead_of_crashing(self, params):
+        # 1-slot pool, and the slot is quarantined by a guest fault —
+        # the next request finds no capacity and is shed, not crashed.
+        manager, pool, sup = build(params, slots=1)
+        injector = FakeInjector({0: FaultKind.GUEST_FAULT})
+        outcomes = sup.serve(requests(2), injector)
+        assert {o.status for o in outcomes} <= {"ok", "shed"}
+        sup.shutdown()
+        assert pool.available == 1
+        assert manager.live_sandboxes == 0
+
+
+class TestStats:
+    def test_stats_snapshot_matches_counters(self, params):
+        _, _, sup = build(params)
+        injector = FakeInjector({0: FaultKind.GUEST_HANG})
+        sup.serve(requests(4), injector)
+        stats = sup.stats()
+        assert stats.component == "supervisor"
+        assert stats.requests == 4
+        assert stats.succeeded == sup.counters.succeeded
+        assert stats.watchdog_kills == 1
+        assert 0.0 < stats.success_rate <= 1.0
+        assert stats.goodput > 0.0
