@@ -317,6 +317,8 @@ def cmd_verify(args) -> int:
         f"(hits: {report['poison_hits']})",
         f"invariant checks:  {report['invariant_checks']} "
         f"(violations: {report['invariant_violations']})",
+        f"determinism runs:  {report['determinism']['runs']} "
+        f"(mismatches: {report['determinism']['mismatches']})",
         f"verdict:           {'CLEAN' if stats.clean else 'DIRTY'}",
     ]
     lines += [f"  FAIL: {failure}" for failure in report["failures"]]
@@ -366,6 +368,51 @@ def cmd_chaos(args) -> int:
         payload.pop("seeds", None)
     _emit(args, payload, "\n".join(lines))
     return 0 if report.clean else 1
+
+
+def cmd_serve(args) -> int:
+    """Run the discrete-event production serving simulator
+    (repro.runtime.serving) and compare isolation schemes under the
+    same open-loop offered load."""
+    from .runtime import SERVING_SCHEMES, ServingConfig, simulate_serving
+
+    if args.requests < 1:
+        raise SystemExit("--requests must be >= 1")
+    if args.load <= 0:
+        raise SystemExit("--load must be > 0")
+    schemes = ([s.strip() for s in args.schemes.split(",") if s.strip()]
+               if args.schemes else list(SERVING_SCHEMES))
+    config = ServingConfig(
+        n_cores=args.cores, slots_per_shard=args.slots_per_shard,
+        max_inflight=args.max_inflight
+        if args.max_inflight else args.cores * args.slots_per_shard)
+    rows = []
+    runs = {}
+    for scheme in schemes:
+        metrics = simulate_serving(
+            scheme, n_requests=args.requests, seed=args.seed,
+            arrival=args.arrival, offered_load=args.load, config=config)
+        runs[scheme] = metrics.as_dict()
+        rows.append((scheme, f"{metrics.goodput_rps:,.0f}",
+                     f"{metrics.p50_ms:.2f}", f"{metrics.p99_ms:.2f}",
+                     f"{metrics.p999_ms:.2f}", str(metrics.shed),
+                     str(metrics.failed), str(metrics.steals),
+                     str(metrics.peak_inflight)))
+    table = format_table(
+        ("scheme", "goodput req/s", "p50 ms", "p99 ms", "p99.9 ms",
+         "shed", "failed", "steals", "peak inflight"), rows)
+    header = (f"open-loop {args.arrival} arrivals, offered load "
+              f"{args.load:.2f}x capacity, {args.cores} cores x "
+              f"{args.slots_per_shard} slots, {args.requests} requests, "
+              f"seed {args.seed}")
+    payload = {"config": {"requests": args.requests, "seed": args.seed,
+                          "arrival": args.arrival, "load": args.load,
+                          "cores": args.cores,
+                          "slots_per_shard": args.slots_per_shard},
+               "schemes": runs}
+    _emit(args, payload, f"{header}\n\n{table}")
+    # every request must be accounted for in every run
+    return 0 if all(r["accounted"] for r in runs.values()) else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -465,6 +512,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true",
                    help="include per-seed detail in --json output")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "serve", parents=[output],
+        help="discrete-event serving simulator: open-loop load over "
+             "sharded pools with work-stealing")
+    p.add_argument("--schemes", default="",
+                   help="comma-separated isolation schemes "
+                        "(default: hfi,guard-pages,mpk)")
+    p.add_argument("--requests", type=int, default=5000,
+                   help="open-loop requests to offer (default 5000)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="workload seed (runs are seed-deterministic)")
+    p.add_argument("--arrival", default="poisson",
+                   choices=("poisson", "mmpp"),
+                   help="arrival process (mmpp = bursty)")
+    p.add_argument("--load", type=float, default=0.8,
+                   help="offered load relative to node capacity")
+    p.add_argument("--cores", type=int, default=4,
+                   help="worker cores, one pool shard each")
+    p.add_argument("--slots-per-shard", type=int, default=16,
+                   help="pooled instances per core shard")
+    p.add_argument("--max-inflight", type=int, default=0,
+                   help="admission bound on in-flight requests "
+                        "(default: cores x slots-per-shard)")
+    p.set_defaults(func=cmd_serve)
     return parser
 
 

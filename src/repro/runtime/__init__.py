@@ -3,7 +3,7 @@ and the supervised (robustness) serving loop."""
 
 from .chaining import ChainHop, ChainModel
 from .faas import FaasMetrics, FaasServer, percentile
-from .pool import InstancePool, PoolSlot
+from .pool import InstancePool, PoolSlot, ShardedInstancePool
 from .sandbox import (
     InvokeResult,
     SandboxError,
@@ -11,6 +11,22 @@ from .sandbox import (
     SandboxManager,
 )
 from .scheduling import MultiplexModel, ScheduleOutcome
+from .serving import (
+    SERVING_SCHEMES,
+    ArrivalProcess,
+    MmppArrivals,
+    PoissonArrivals,
+    SchemeCosts,
+    ServingConfig,
+    ServingMetrics,
+    ServingSimulator,
+    TraceArrivals,
+    build_requests,
+    load_trace,
+    save_trace,
+    scheme_costs,
+    simulate_serving,
+)
 from .startup import StartupModel
 from .supervisor import (
     CLASSIFICATIONS,
@@ -22,6 +38,8 @@ from .supervisor import (
     Supervisor,
     SupervisorConfig,
     TenantBreaker,
+    record_breaker_fault,
+    shed_victims,
 )
 from .transitions import TransitionKind, TransitionModel
 
@@ -32,5 +50,10 @@ __all__ = [
     "PoolSlot", "StartupModel", "MultiplexModel", "ScheduleOutcome",
     "Supervisor", "SupervisorConfig", "Request",
     "RequestOutcome", "Priority", "FaultKind", "Injection",
-    "TenantBreaker", "CLASSIFICATIONS",
+    "TenantBreaker", "CLASSIFICATIONS", "shed_victims",
+    "record_breaker_fault", "ShardedInstancePool", "ArrivalProcess",
+    "PoissonArrivals", "MmppArrivals", "TraceArrivals",
+    "build_requests", "save_trace", "load_trace", "SchemeCosts",
+    "scheme_costs", "SERVING_SCHEMES", "ServingConfig",
+    "ServingMetrics", "ServingSimulator", "simulate_serving",
 ]

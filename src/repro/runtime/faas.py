@@ -19,6 +19,7 @@ import heapq
 import math
 import random
 from dataclasses import dataclass, field
+from fractions import Fraction
 from typing import List, Optional
 
 from ..params import DEFAULT_PARAMS, MachineParams
@@ -59,11 +60,26 @@ class FaasMetrics:
 
 
 def percentile(values: List[float], pct: float) -> float:
-    """Nearest-rank percentile (no numpy dependency in the hot path)."""
+    """Nearest-rank percentile (no numpy dependency in the hot path).
+
+    The rank is computed in exact (rational) arithmetic: the naive
+    ``ceil(pct / 100.0 * n)`` rounds the wrong way whenever the binary
+    product ``pct / 100 * n`` lands just above the true integer — e.g.
+    ``pct=7, n=100`` gives ``ceil(7.000000000000001) = 8`` and returns
+    the 8th-ranked element instead of the 7th.  Caught by the property
+    suite (``tests/test_percentile_properties.py``) against a
+    Fraction-based oracle.  ``pct`` at or below 0 clamps to the
+    minimum, at or above 100 to the maximum — the nearest-rank rule is
+    only defined on (0, 100].
+    """
     if not values:
         return 0.0
     ordered = sorted(values)
-    rank = math.ceil(pct / 100.0 * len(ordered))
+    if pct <= 0:
+        return ordered[0]
+    if pct >= 100:
+        return ordered[-1]
+    rank = math.ceil(Fraction(pct) * len(ordered) / 100)
     return ordered[max(0, min(len(ordered) - 1, rank - 1))]
 
 

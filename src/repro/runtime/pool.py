@@ -13,10 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from typing import Tuple
+
 from ..os.address_space import AddressSpace
 from ..params import DEFAULT_PARAMS, MachineParams
 from ..telemetry.sink import Telemetry, coalesce
-from ..telemetry.stats import PoolStats
+from ..telemetry.stats import PoolStats, ShardedPoolStats
 from ..wasm.strategies import IsolationStrategy
 
 #: Bytes written/read back by the scrub's poison-verify pass.
@@ -253,3 +255,161 @@ class InstancePool:
             quarantines=self.quarantines,
             scrubs=self.scrubs,
             scrub_failures=self.scrub_failures)
+
+
+class ShardedInstancePool:
+    """Per-core pool shards with work-stealing (ROADMAP item 1).
+
+    Production serving runtimes shard the instance pool per worker
+    core so the hot acquire/release path touches only core-local state
+    (no cross-core contention in the real system; here, a faithful
+    accounting of where slots come from).  When a core's shard runs
+    dry it *steals* a slot from the richest other shard — the
+    Firecracker/Faasm serving shape the discrete-event simulator in
+    :mod:`repro.runtime.serving` drives at load.
+
+    Every slot keeps the :class:`InstancePool` lifecycle (batched
+    discards, quarantine, poison-verify scrub); this class adds the
+    placement policy on top and accounts the cycles the rebalancing
+    costs (flushes and scrubs triggered by a dry acquire are charged
+    to the acquiring core).
+    """
+
+    def __init__(self, space: AddressSpace, strategy: IsolationStrategy,
+                 *, shards: int, slots_per_shard: int, heap_bytes: int,
+                 params: MachineParams = DEFAULT_PARAMS,
+                 batch_teardown: bool = False,
+                 telemetry: Optional[Telemetry] = None):
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        self.space = space
+        self.params = params
+        self.telemetry = coalesce(telemetry)
+        self.shards: List[InstancePool] = [
+            InstancePool(space, strategy, slots=slots_per_shard,
+                         heap_bytes=heap_bytes, params=params,
+                         batch_teardown=batch_teardown)
+            for _ in range(shards)]
+        self.local_acquires = 0
+        self.steals = 0
+        self.exhausted = 0
+        self.dry_flushes = 0
+        self.scrub_rescues = 0
+        if self.telemetry.enabled:
+            self.telemetry.register_component("sharded-pool", self.stats)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def total_slots(self) -> int:
+        return sum(len(s.slots) for s in self.shards)
+
+    @property
+    def available(self) -> int:
+        return sum(s.available for s in self.shards)
+
+    @property
+    def quarantined(self) -> int:
+        return sum(s.quarantined for s in self.shards)
+
+    def shard_available(self) -> List[int]:
+        return [s.available for s in self.shards]
+
+    # ------------------------------------------------------------------
+    def acquire(self, shard: int) -> Tuple[Optional[PoolSlot], int, int]:
+        """Acquire a slot for core ``shard``.
+
+        Returns ``(slot, owner_shard, cycles)`` — ``owner_shard`` is
+        where the slot must be released back to, and ``cycles`` is the
+        rebalancing work charged now (batched-discard flushes or
+        quarantine scrubs a dry pool forced).  ``slot`` is None only
+        when every shard is exhausted beyond rescue.
+        """
+        cycles = 0
+        local = self.shards[shard]
+        slot = local.acquire()
+        if slot is None and local._pending_discard:
+            cycles += local.flush_discards()
+            self.dry_flushes += 1
+            slot = local.acquire()
+        if slot is not None:
+            self.local_acquires += 1
+            return slot, shard, cycles
+        # local shard dry: steal from the richest other shard
+        victim = self._richest_other(shard)
+        if victim is not None:
+            slot = self.shards[victim].acquire()
+            if slot is not None:
+                self.steals += 1
+                if self.telemetry.enabled:
+                    self.telemetry.count("pool.steal")
+                return slot, victim, cycles
+        # everything dry: flush every pending discard, then steal again
+        for index, other in enumerate(self.shards):
+            if other._pending_discard:
+                cycles += other.flush_discards()
+                self.dry_flushes += 1
+        order = [shard] + [i for i in range(self.n_shards) if i != shard]
+        for index in order:
+            slot = self.shards[index].acquire()
+            if slot is not None:
+                if index == shard:
+                    self.local_acquires += 1
+                else:
+                    self.steals += 1
+                return slot, index, cycles
+        # last resort: scrub quarantined slots back into service
+        for index in order:
+            pool = self.shards[index]
+            if pool.quarantined:
+                cycles += pool.scrub_all()
+                self.scrub_rescues += 1
+                slot = pool.acquire()
+                if slot is not None:
+                    return slot, index, cycles
+        self.exhausted += 1
+        if self.telemetry.enabled:
+            self.telemetry.count("pool.sharded_exhausted")
+        return None, shard, cycles
+
+    def _richest_other(self, shard: int) -> Optional[int]:
+        best, best_avail = None, 0
+        for index, pool in enumerate(self.shards):
+            if index == shard:
+                continue
+            if pool.available > best_avail:
+                best, best_avail = index, pool.available
+        return best
+
+    # ------------------------------------------------------------------
+    def release(self, slot: PoolSlot, owner: int) -> int:
+        return self.shards[owner].release(slot)
+
+    def quarantine(self, slot: PoolSlot, owner: int) -> None:
+        self.shards[owner].quarantine(slot)
+
+    def flush_all(self) -> int:
+        return sum(s.flush_discards() for s in self.shards)
+
+    def scrub_all(self) -> int:
+        return sum(s.scrub_all() for s in self.shards)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> ShardedPoolStats:
+        """Uniform component-stats snapshot (``repro.telemetry``)."""
+        return ShardedPoolStats(
+            component="sharded-pool",
+            shards=self.n_shards,
+            slots=self.total_slots,
+            available=self.available,
+            local_acquires=self.local_acquires,
+            steals=self.steals,
+            exhausted=self.exhausted,
+            dry_flushes=self.dry_flushes,
+            scrub_rescues=self.scrub_rescues,
+            quarantined=sum(s.quarantined for s in self.shards),
+            recycle_cycles=sum(s.recycle_cycles for s in self.shards),
+            setup_cycles=sum(s.setup_cycles for s in self.shards))

@@ -68,6 +68,49 @@ class FaultKind(str, enum.Enum):
 CLASSIFICATIONS = ("retried", "shed", "quarantined", "killed")
 
 
+def shed_victims(candidates, overflow: int,
+                 no_shed_priority: int) -> List[int]:
+    """Admission-control victim selection, shared by the synchronous
+    :class:`Supervisor` loop and the discrete-event serving simulator
+    (:mod:`repro.runtime.serving`).
+
+    ``candidates`` are ``(order_key, request)`` pairs where a larger
+    ``order_key`` means *newer*; victims are the lowest-priority
+    requests first, newest first within a priority, and requests at or
+    above ``no_shed_priority`` are never chosen.  Returns the chosen
+    order keys, at most ``overflow`` of them.
+    """
+    if overflow <= 0:
+        return []
+    sheddable = [(key, request) for key, request in candidates
+                 if request.priority < no_shed_priority]
+    ranked = sorted(sheddable, key=lambda kr: (kr[1].priority, -kr[0]))
+    return [key for key, _ in ranked[:overflow]]
+
+
+def record_breaker_fault(breaker: "TenantBreaker", clock: int,
+                         threshold: int, cooldown_cycles: int) -> bool:
+    """Advance a tenant breaker through one observed fault.
+
+    A failed half-open probe re-opens the circuit without counting a
+    new trip; crossing ``threshold`` consecutive faults opens it and
+    counts one.  Returns True exactly when a new trip occurred, so
+    callers can keep their own trip counters/telemetry.
+    """
+    breaker.consecutive_faults += 1
+    if breaker.state == "half-open":
+        # the probe failed: straight back to open
+        breaker.state = "open"
+        breaker.open_until = clock + cooldown_cycles
+        return False
+    if breaker.consecutive_faults >= threshold:
+        breaker.state = "open"
+        breaker.open_until = clock + cooldown_cycles
+        breaker.trips += 1
+        return True
+    return False
+
+
 @dataclass
 class Injection:
     """One planned fault, stamped by the supervisor when handled."""
@@ -220,13 +263,9 @@ class Supervisor:
                        and requests[j].arrival_cycle <= self.clock]
             overflow = len(backlog) - self.config.queue_limit
             if overflow > 0:
-                sheddable = [j for j in backlog
-                             if requests[j].priority
-                             < self.config.no_shed_priority]
-                # lowest priority first; newest first within a priority
-                victims = sorted(sheddable,
-                                 key=lambda j: (requests[j].priority, -j)
-                                 )[:overflow]
+                victims = shed_victims(
+                    [(j, requests[j]) for j in backlog], overflow,
+                    self.config.no_shed_priority)
                 for j in victims:
                     shed_indices.add(j)
                     victim = requests[j]
@@ -430,18 +469,9 @@ class Supervisor:
 
     def _breaker_fault(self, breaker: TenantBreaker,
                        cause: FaultCause = FaultCause.NONE) -> None:
-        breaker.consecutive_faults += 1
-        if breaker.state == "half-open":
-            # the probe failed: straight back to open
-            breaker.state = "open"
-            breaker.open_until = (self.clock
-                                  + self.config.breaker_cooldown_cycles)
-            return
-        if breaker.consecutive_faults >= self.config.breaker_threshold:
-            breaker.state = "open"
-            breaker.open_until = (self.clock
-                                  + self.config.breaker_cooldown_cycles)
-            breaker.trips += 1
+        if record_breaker_fault(breaker, self.clock,
+                                self.config.breaker_threshold,
+                                self.config.breaker_cooldown_cycles):
             self.counters.breaker_trips += 1
             if self.telemetry.enabled:
                 self.telemetry.count("supervisor.breaker_trip")

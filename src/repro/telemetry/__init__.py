@@ -26,6 +26,8 @@ from .stats import (
     RobustnessStats,
     SandboxManagerStats,
     SandboxStats,
+    ServingStats,
+    ShardedPoolStats,
     StatsAccessor,
     TlbStats,
     TracerStats,
@@ -39,7 +41,7 @@ __all__ = [
     "ComponentStats", "StatsAccessor", "CacheStats", "TlbStats",
     "PredictorStats", "TracerStats", "SandboxStats",
     "SandboxManagerStats", "HfiDeviceStats", "PoolStats", "KernelStats",
-    "VerifyStats", "RobustnessStats",
+    "VerifyStats", "RobustnessStats", "ServingStats", "ShardedPoolStats",
     "to_json", "metrics_to_csv", "spans_to_csv", "attribution_to_csv",
     "write_json", "write_csv",
 ]

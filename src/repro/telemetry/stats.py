@@ -210,6 +210,73 @@ class PoolStats(ComponentStats):
 
 
 @dataclass
+class ShardedPoolStats(ComponentStats):
+    """Per-core pool shards + work-stealing placement counters.
+
+    ``local_acquires``/``steals`` partition successful acquires by
+    where the slot came from; ``dry_flushes``/``scrub_rescues`` count
+    how often a dry acquire had to force a batched-discard flush or a
+    quarantine scrub to find capacity.
+    """
+
+    shards: int = 0
+    slots: int = 0
+    available: int = 0
+    local_acquires: int = 0
+    steals: int = 0
+    exhausted: int = 0
+    dry_flushes: int = 0
+    scrub_rescues: int = 0
+    quarantined: int = 0
+    recycle_cycles: int = 0
+    setup_cycles: int = 0
+
+    @property
+    def steal_rate(self) -> float:
+        total = self.local_acquires + self.steals
+        return self.steals / total if total else 0.0
+
+
+@dataclass
+class ServingStats(ComponentStats):
+    """The discrete-event serving simulator's request ledger
+    (``repro.runtime.serving``).
+
+    Latency percentiles are in integer cycles (the simulator's native
+    unit) so snapshots are bit-exact reproducible; presentation layers
+    convert to wall time.  Every request ends in exactly one of
+    ``succeeded``/``failed``/``shed``, mirroring the supervisor's
+    partition.
+    """
+
+    requests: int = 0
+    succeeded: int = 0
+    failed: int = 0
+    shed: int = 0
+    retried: int = 0
+    quarantined: int = 0
+    killed: int = 0
+    breaker_shed: int = 0
+    steals: int = 0
+    peak_inflight: int = 0
+    duration_cycles: int = 0
+    busy_cycles: int = 0
+    recycle_cycles: int = 0
+    p50_cycles: int = 0
+    p99_cycles: int = 0
+    p999_cycles: int = 0
+
+    @property
+    def success_rate(self) -> float:
+        return self.succeeded / self.requests if self.requests else 0.0
+
+    @property
+    def accounted(self) -> bool:
+        return (self.succeeded + self.failed + self.shed
+                == self.requests)
+
+
+@dataclass
 class KernelStats(ComponentStats):
     """Syscall dispatch counters."""
 
@@ -332,6 +399,8 @@ class VerifyStats(ComponentStats):
     chaos_faults_unaccounted: int = 0
     chaos_leaked_slots: int = 0
     chaos_zombie_sandboxes: int = 0
+    determinism_runs: int = 0
+    determinism_mismatches: int = 0
 
     @property
     def clean(self) -> bool:
@@ -341,4 +410,5 @@ class VerifyStats(ComponentStats):
                 and self.invariant_violations == 0
                 and self.chaos_faults_unaccounted == 0
                 and self.chaos_leaked_slots == 0
-                and self.chaos_zombie_sandboxes == 0)
+                and self.chaos_zombie_sandboxes == 0
+                and self.determinism_mismatches == 0)

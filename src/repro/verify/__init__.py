@@ -190,6 +190,44 @@ def _speculation_smoke(stats: VerifyStats, failures: List[str]) -> None:
                     for m in probe.violation_log)
 
 
+def _determinism_smoke(stats: VerifyStats, failures: List[str],
+                       seeds: Iterable[int] = (0, 7),
+                       params: Optional[MachineParams] = None) -> None:
+    """Seeded-determinism gate: the same seed must reproduce the
+    serving simulator and FaaS model bit-for-bit, and changing the
+    seed must never change how many requests a run *processes* (the
+    workload is the workload; only its fate may differ)."""
+    from ..runtime import FaasServer, simulate_serving
+
+    baseline_requests: Optional[int] = None
+    for seed in seeds:
+        first = simulate_serving("hfi", n_requests=120, seed=seed,
+                                 offered_load=1.1, params=params)
+        second = simulate_serving("hfi", n_requests=120, seed=seed,
+                                  offered_load=1.1, params=params)
+        stats.determinism_runs += 2
+        if first.digest() != second.digest():
+            stats.determinism_mismatches += 1
+            failures.append(
+                f"serving run not deterministic for seed {seed}")
+        if baseline_requests is None:
+            baseline_requests = first.requests
+        elif first.requests != baseline_requests:
+            stats.determinism_mismatches += 1
+            failures.append(
+                f"seed {seed} changed the request count "
+                f"({first.requests} != {baseline_requests})")
+        faas_a = FaasServer(seed=seed).simulate("hfi", 50_000,
+                                                n_requests=300)
+        faas_b = FaasServer(seed=seed).simulate("hfi", 50_000,
+                                                n_requests=300)
+        stats.determinism_runs += 2
+        if faas_a != faas_b:
+            stats.determinism_mismatches += 1
+            failures.append(
+                f"FaaS model not deterministic for seed {seed}")
+
+
 def run_verify(seeds: Iterable[int] = range(50),
                comparator_trials: int = 20_000,
                comparator_seed: int = 0,
@@ -225,6 +263,7 @@ def run_verify(seeds: Iterable[int] = range(50),
     _pool_smoke(stats, failures)
     _speculation_smoke(stats, failures)
     _chaos_smoke(stats, failures, params=params)
+    _determinism_smoke(stats, failures, params=params)
 
     report = {
         "oracle_runs": stats.oracle_runs,
@@ -242,6 +281,10 @@ def run_verify(seeds: Iterable[int] = range(50),
             "faults_unaccounted": stats.chaos_faults_unaccounted,
             "leaked_slots": stats.chaos_leaked_slots,
             "zombie_sandboxes": stats.chaos_zombie_sandboxes,
+        },
+        "determinism": {
+            "runs": stats.determinism_runs,
+            "mismatches": stats.determinism_mismatches,
         },
         "poison_writes": stats.poison_writes,
         "poison_hits": stats.poison_hits,

@@ -309,3 +309,118 @@ class TestStats:
         assert stats.watchdog_kills == 1
         assert 0.0 < stats.success_rate <= 1.0
         assert stats.goodput > 0.0
+
+
+class TestSupervisorPolicyInServingLoop:
+    """Satellite of the serving simulator: the supervisor's policies —
+    shed ordering, the no-shed floor, fault-ledger accounting — must
+    hold unchanged when driven by open-loop arrivals through the
+    discrete-event loop (``repro.runtime.serving``) instead of the
+    batch ``Supervisor.serve`` path.  Both paths share the actual
+    policy code (``shed_victims``/``record_breaker_fault``), so a
+    divergence here means the event loop wired it up wrong.
+    """
+
+    def drive(self, stream, injector=None, **config_kwargs):
+        from repro.runtime import ServingConfig, ServingSimulator
+
+        config_kwargs.setdefault("n_cores", 1)
+        config_kwargs.setdefault("slots_per_shard", 8)
+        config_kwargs.setdefault("max_inflight", 4)
+        sim = ServingSimulator("hfi", ServingConfig(**config_kwargs),
+                               MachineParams(), seed=0)
+        metrics = sim.run(sorted(stream,
+                                 key=lambda r: (r.arrival_cycle, r.index)),
+                          injector=injector)
+        return sim, metrics
+
+    def burst_stream(self, n_base=4, burst_size=12):
+        """Steady NORMAL traffic with one HIGH, then a LOW burst
+        (more than admission can hold) at a single arrival instant —
+        the chaos injector's burst-overload shape."""
+        burst = Injection(injection_id=0, request_index=100,
+                          kind=FaultKind.BURST_OVERLOAD)
+        # light steady load: well within one core, so only the surge
+        # creates admission pressure
+        base = [Request(index=i, tenant=f"t{i}", service_cycles=10_000,
+                        priority=Priority.NORMAL,
+                        arrival_cycle=1000 + i * 50_000)
+                for i in range(n_base)]
+        vip = Request(index=50, tenant="vip", service_cycles=10_000,
+                      priority=Priority.HIGH, arrival_cycle=5000)
+        surge = [Request(index=100 + k, tenant="burst",
+                         service_cycles=30_000, priority=Priority.LOW,
+                         arrival_cycle=5000, injection=burst)
+                 for k in range(burst_size)]
+        return base + [vip] + surge, burst
+
+    def test_burst_overload_sheds_and_accounts_ledger(self, params):
+        stream, burst = self.burst_stream()
+        sim, metrics = self.drive(stream)
+        assert metrics.shed > 0
+        assert burst.classified == "shed"    # ledger stamped once
+        assert metrics.accounted
+
+    def test_burst_sheds_lowest_priority_newest_first(self, params):
+        stream, _ = self.burst_stream()
+        sim, metrics = self.drive(stream)
+        shed = [o.request for o in sim.outcomes if o.status == "shed"]
+        assert shed
+        # only the LOW surge is shed — never the HIGH, and the steady
+        # NORMAL traffic survives burst pressure at these sizes
+        assert all(r.priority == Priority.LOW for r in shed)
+        # newest-first within the surge: the survivors of the burst
+        # are the oldest indices, the shed ones the newest
+        shed_burst = sorted(r.index for r in shed if r.index >= 100)
+        ok_burst = sorted(o.request.index for o in sim.outcomes
+                          if o.status == "ok" and o.request.index >= 100)
+        assert ok_burst and shed_burst
+        assert max(ok_burst) < min(shed_burst) or \
+            set(shed_burst) == set(range(min(shed_burst),
+                                         max(shed_burst) + 1))
+
+    def test_high_priority_never_shed_by_burst(self, params):
+        stream, _ = self.burst_stream(burst_size=20)
+        sim, metrics = self.drive(stream, max_inflight=3)
+        fates = {o.request.index: o.status for o in sim.outcomes}
+        assert fates[50] == "ok"             # the HIGH rode it out
+        assert metrics.shed >= 1
+
+    def test_mixed_faults_through_event_loop_fully_accounted(self, params):
+        """Every chaos FaultKind at once through the event loop: the
+        ledger partition (retried/shed/quarantined/killed) is exact."""
+        stream, burst = self.burst_stream()
+        injector = FakeInjector({0: FaultKind.GUEST_FAULT,
+                                 1: FaultKind.GUEST_HANG,
+                                 2: FaultKind.TRANSIENT_KERNEL,
+                                 3: FaultKind.HEAP_OOM})
+        sim, metrics = self.drive(stream, injector=injector)
+        assert injector.unaccounted() == []
+        assert burst.classified == "shed"
+        classifications = {i.classified
+                           for i in injector.plan.values()}
+        classifications.add(burst.classified)
+        assert classifications <= {"retried", "shed", "quarantined",
+                                   "killed"}
+        assert metrics.accounted
+        assert metrics.killed == 1 and metrics.retried == 2
+
+    def test_batch_and_event_paths_agree_on_shed_policy(self, params):
+        """The same one-instant overflow decided by both paths picks
+        the same victims (both call shed_victims)."""
+        stream = []
+        for i in range(8):
+            priority = (Priority.HIGH if i in (1, 6)
+                        else Priority.LOW if i >= 4 else Priority.NORMAL)
+            stream.append(Request(index=i, tenant=f"t{i}",
+                                  service_cycles=30_000,
+                                  priority=priority, arrival_cycle=0))
+        config = SupervisorConfig(queue_limit=4)
+        _, _, sup = build(params, config=config)
+        batch_shed = {o.request.index for o in sup.serve(list(stream))
+                      if o.status == "shed"}
+        sim, _ = self.drive(list(stream), max_inflight=4)
+        event_shed = {o.request.index for o in sim.outcomes
+                      if o.status == "shed"}
+        assert 1 not in event_shed and 6 not in event_shed
+        assert event_shed == batch_shed

@@ -256,6 +256,11 @@ class TestRunVerify:
         assert stats.comparator_trials > 2_000   # + boundary sweep
         assert stats.poison_writes > 0
         assert stats.invariant_checks > 0
+        # the seeded-determinism smoke ran and found no mismatch
+        assert stats.determinism_runs > 0
+        assert stats.determinism_mismatches == 0
+        assert report["determinism"]["runs"] == stats.determinism_runs
+        assert report["determinism"]["mismatches"] == 0
 
     def test_verify_stats_clean_property(self):
         from repro.telemetry import VerifyStats
@@ -264,4 +269,5 @@ class TestRunVerify:
         assert not VerifyStats(unclassified_disagreements=1).clean
         assert not VerifyStats(poison_hits=1).clean
         assert not VerifyStats(invariant_violations=1).clean
+        assert not VerifyStats(determinism_mismatches=1).clean
         assert "clean" in VerifyStats().as_dict()
