@@ -14,17 +14,19 @@ served fault-free.  Two gates:
    runtime retains at least 90% of fault-free goodput (watchdog kills,
    quarantine scrubs, backoff, and shed bursts together cost < 10%).
 
-Writes ``BENCH_chaos_soak.json`` at the repo root.
+Writes ``BENCH_chaos_soak.json`` (the shared bench envelope) at the
+repo root.
 
 Run:  python scripts/bench_chaos_soak.py
 """
 
-import json
 import os
 import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.dirname(__file__))
 
+from bench_common import gate, write_envelope
 from repro.chaos import run_soak
 
 SEEDS = range(20)
@@ -36,14 +38,7 @@ GATE_RETAINED = 0.90
 
 
 def main():
-    results = {
-        "seeds": len(SEEDS),
-        "requests_per_seed": REQUESTS,
-        "fault_rates": list(FAULT_RATES),
-        "gate": {"fault_rate": GATE_RATE,
-                 "min_goodput_retained": GATE_RETAINED},
-        "strategies": {},
-    }
+    results = {"strategies": {}}
     all_clean = True
     gate_retained = {}
     for strategy in STRATEGIES:
@@ -78,19 +73,24 @@ def main():
                   for r in gate_retained.values())
     results["goodput_retained_at_gate"] = {
         k: round(v, 4) for k, v in gate_retained.items()}
-    results["all_clean"] = all_clean
-    results["within_gate"] = gate_ok
-    out = os.path.join(os.path.dirname(__file__), "..",
-                       "BENCH_chaos_soak.json")
-    with open(out, "w") as fh:
-        json.dump(results, fh, indent=2)
-        fh.write("\n")
-    verdict = "OK" if (gate_ok and all_clean) else "FAIL"
-    print(f"\ngoodput retained at {GATE_RATE:.0%} faults: "
-          + ", ".join(f"{k}={v:.1%}" for k, v in gate_retained.items())
-          + f"  ({verdict} vs the {GATE_RETAINED:.0%} floor)")
-    print(f"wrote {os.path.abspath(out)}")
-    return 0 if (gate_ok and all_clean) else 1
+    print()
+    payload = write_envelope(
+        os.path.join(os.path.dirname(__file__), "..",
+                     "BENCH_chaos_soak.json"),
+        "chaos_soak",
+        config={"seeds": len(SEEDS), "requests_per_seed": REQUESTS,
+                "fault_rates": list(FAULT_RATES),
+                "gate_fault_rate": GATE_RATE,
+                "min_goodput_retained": GATE_RETAINED},
+        results=results,
+        gates={
+            "all_clean": gate(all_clean),
+            "goodput_retained": gate(
+                gate_ok, floor=GATE_RETAINED,
+                retained={k: round(v, 4)
+                          for k, v in gate_retained.items()}),
+        })
+    return 0 if payload["ok"] else 1
 
 
 if __name__ == "__main__":

@@ -1,0 +1,64 @@
+"""Shared JSON envelope for the ``scripts/bench_*`` family.
+
+Every benchmark writes the same top-level shape so CI and tooling can
+consume any ``BENCH_*.json`` uniformly::
+
+    {
+      "schema_version": 1,
+      "bench": "<name>",
+      "python": "3.x.y",
+      "config":  {...},   # the knobs that shaped the run
+      "results": {...},   # the measurements
+      "gates": {          # named pass/fail criteria with detail
+        "<gate>": {"passed": true, ...}
+      },
+      "ok": true          # conjunction of every gate
+    }
+
+Benchmarks keep their own ``config``/``results`` vocabulary; only the
+envelope — and the rule that anything a script exits nonzero over must
+appear as a gate — is shared.
+"""
+
+import json
+import pathlib
+import sys
+from typing import Dict
+
+SCHEMA_VERSION = 1
+
+
+def gate(passed, **detail) -> Dict:
+    """One named pass/fail criterion with its supporting numbers."""
+    return {"passed": bool(passed), **detail}
+
+
+def envelope(bench: str, config: Dict, results: Dict,
+             gates: Dict[str, Dict]) -> Dict:
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": bench,
+        "python": sys.version.split()[0],
+        "config": config,
+        "results": results,
+        "gates": gates,
+        "ok": all(g["passed"] for g in gates.values()),
+    }
+
+
+def write_envelope(path, bench: str, config: Dict, results: Dict,
+                   gates: Dict[str, Dict]) -> Dict:
+    """Assemble, write, and summarize one benchmark payload.
+
+    Returns the payload; ``payload["ok"]`` is the process exit gate.
+    """
+    payload = envelope(bench, config, results, gates)
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    for name, g in gates.items():
+        detail = ", ".join(f"{k}={v}" for k, v in g.items()
+                           if k != "passed")
+        print(f"gate {name:28s} {'OK  ' if g['passed'] else 'FAIL'} "
+              f"{detail}")
+    print(f"wrote {path.resolve()}")
+    return payload

@@ -19,17 +19,19 @@ Gates:
 3. **The paper's shape**: at the highest load HFI's goodput is at
    least that of guard pages (batched teardown must not lose).
 
-Writes ``BENCH_serving.json`` at the repo root.
+Writes ``BENCH_serving.json`` (the shared bench envelope) at the repo
+root.
 
 Run:  python scripts/bench_serving.py
 """
 
-import json
 import os
 import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.dirname(__file__))
 
+from bench_common import gate, write_envelope
 from repro.runtime import (
     SERVING_SCHEMES,
     MmppArrivals,
@@ -70,16 +72,7 @@ def shared_workload(load, arrival):
 def main():
     config = ServingConfig(n_cores=CORES, slots_per_shard=SLOTS_PER_SHARD,
                            max_inflight=CORES * SLOTS_PER_SHARD)
-    results = {
-        "seed": SEED,
-        "requests_per_point": REQUESTS,
-        "cores": CORES,
-        "slots_per_shard": SLOTS_PER_SHARD,
-        "load_points": [{"load": load, "arrival": arrival}
-                        for load, arrival in LOAD_POINTS],
-        "gate": {"peak_inflight_floor": PEAK_INFLIGHT_FLOOR},
-        "schemes": {},
-    }
+    results = {"schemes": {}}
     all_accounted = True
     peak_seen = 0
     goodput_at_peak = {}
@@ -124,28 +117,29 @@ def main():
                   f"peak={metrics.peak_inflight:4d}")
         results["schemes"][scheme] = rows
 
-    scale_ok = peak_seen >= PEAK_INFLIGHT_FLOOR
-    shape_ok = (goodput_at_peak["hfi"] >= goodput_at_peak["guard-pages"]
-                and shed_at_peak["hfi"] <= shed_at_peak["guard-pages"])
     results["peak_inflight_seen"] = peak_seen
-    results["all_accounted"] = all_accounted
-    results["scale_gate_ok"] = scale_ok
-    results["hfi_wins_at_overload"] = shape_ok
-    out = os.path.join(os.path.dirname(__file__), "..",
-                       "BENCH_serving.json")
-    with open(out, "w") as fh:
-        json.dump(results, fh, indent=2)
-        fh.write("\n")
-    ok = all_accounted and scale_ok and shape_ok
-    print(f"\npeak in-flight: {peak_seen} "
-          f"({'OK' if scale_ok else 'FAIL'} vs the "
-          f"{PEAK_INFLIGHT_FLOOR} floor); "
-          f"overload goodput hfi={goodput_at_peak['hfi']:,.0f} vs "
-          f"guard-pages={goodput_at_peak['guard-pages']:,.0f} "
-          f"({'OK' if shape_ok else 'FAIL'}); "
-          f"accounting {'OK' if all_accounted else 'FAIL'}")
-    print(f"wrote {os.path.abspath(out)}")
-    return 0 if ok else 1
+    print()
+    payload = write_envelope(
+        os.path.join(os.path.dirname(__file__), "..",
+                     "BENCH_serving.json"),
+        "serving",
+        config={"seed": SEED, "requests_per_point": REQUESTS,
+                "cores": CORES, "slots_per_shard": SLOTS_PER_SHARD,
+                "load_points": [{"load": load, "arrival": arrival}
+                                for load, arrival in LOAD_POINTS]},
+        results=results,
+        gates={
+            "accounting": gate(all_accounted),
+            "scale": gate(peak_seen >= PEAK_INFLIGHT_FLOOR,
+                          floor=PEAK_INFLIGHT_FLOOR, peak=peak_seen),
+            "hfi_wins_at_overload": gate(
+                goodput_at_peak["hfi"] >= goodput_at_peak["guard-pages"]
+                and shed_at_peak["hfi"] <= shed_at_peak["guard-pages"],
+                goodput_hfi=round(goodput_at_peak["hfi"]),
+                goodput_guard_pages=round(
+                    goodput_at_peak["guard-pages"])),
+        })
+    return 0 if payload["ok"] else 1
 
 
 if __name__ == "__main__":

@@ -15,18 +15,20 @@ An attribution micro-benchmark (the analytic ``SandboxManager`` invoke
 loop, which does almost no work per call and so maximally exposes
 per-event recording cost) is also reported, informationally.
 
-Writes ``BENCH_telemetry_overhead.json`` at the repo root.
+Writes ``BENCH_telemetry_overhead.json`` (the shared bench envelope)
+at the repo root.
 
 Run:  python scripts/bench_telemetry_overhead.py
 """
 
-import json
 import os
 import sys
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.dirname(__file__))
 
+from bench_common import gate, write_envelope
 from repro.params import MachineParams
 from repro.runtime import SandboxManager, TransitionKind
 from repro.telemetry import Telemetry
@@ -85,9 +87,7 @@ def measure(fn):
 
 
 def main():
-    results = {"workload": WORKLOAD, "scale": SCALE, "reps": REPS,
-               "budget_pct": BUDGET_PCT}
-
+    results = {}
     for name, fn, gated in (("workload", run_simulator, True),
                             ("attribution_microbench", run_manager, False)):
         value, off_s, on_s = measure(fn)
@@ -103,19 +103,24 @@ def main():
         print(f"{name:24s} off={off_s:.4f}s on={on_s:.4f}s "
               f"overhead={overhead:+.2f}%  (cycles identical)")
 
-    gate = results["workload"]["overhead_pct"]
-    results["workload_overhead_pct"] = gate
-    results["within_budget"] = gate <= BUDGET_PCT
-    out = os.path.join(os.path.dirname(__file__), "..",
-                       "BENCH_telemetry_overhead.json")
-    with open(out, "w") as fh:
-        json.dump(results, fh, indent=2)
-        fh.write("\n")
-    print(f"\nworkload overhead: {gate:+.2f}% "
-          f"({'OK' if gate <= BUDGET_PCT else 'OVER'} "
-          f"vs the {BUDGET_PCT:.0f}% budget)")
-    print(f"wrote {os.path.abspath(out)}")
-    return 0 if gate <= BUDGET_PCT else 1
+    overhead_pct = results["workload"]["overhead_pct"]
+    print()
+    payload = write_envelope(
+        os.path.join(os.path.dirname(__file__), "..",
+                     "BENCH_telemetry_overhead.json"),
+        "telemetry_overhead",
+        config={"workload": WORKLOAD, "scale": SCALE, "reps": REPS,
+                "budget_pct": BUDGET_PCT},
+        results=results,
+        gates={
+            # measure() asserts parity every rep, so reaching here
+            # means the null-sink guarantee held.
+            "null_sink_parity": gate(True),
+            "overhead_budget": gate(overhead_pct <= BUDGET_PCT,
+                                    budget_pct=BUDGET_PCT,
+                                    overhead_pct=overhead_pct),
+        })
+    return 0 if payload["ok"] else 1
 
 
 if __name__ == "__main__":

@@ -22,6 +22,7 @@ import sys
 from typing import List, Optional
 
 from .analysis import format_table, format_telemetry
+from .cpu.machine import ENGINES, default_engine
 from .params import MachineParams
 from .wasm import STRATEGIES, WasmRuntime, make_strategy
 
@@ -53,14 +54,15 @@ def cmd_list_workloads(args) -> int:
     return 0
 
 
-def _run_one(name: str, strategy_name: str, scale: int):
+def _run_one(name: str, strategy_name: str, scale: int,
+             engine: Optional[str] = None):
     workloads = _all_workloads()
     if name not in workloads:
         raise SystemExit(f"unknown workload {name!r}; "
                          f"try: repro-hfi list-workloads")
     _, builder = workloads[name]
     module = builder(scale)
-    runtime = WasmRuntime(MachineParams())
+    runtime = WasmRuntime(MachineParams(), engine=engine)
     instance = runtime.instantiate(module, make_strategy(strategy_name))
     result = runtime.run(instance)
     value = runtime.space.read(instance.layout.globals_base)
@@ -69,11 +71,12 @@ def _run_one(name: str, strategy_name: str, scale: int):
 
 def cmd_run(args) -> int:
     result, value, instance = _run_one(args.workload, args.strategy,
-                                       args.scale)
+                                       args.scale, engine=args.engine)
     stats = result.stats
     payload = {
         "workload": args.workload, "scale": args.scale,
-        "strategy": args.strategy, "reason": result.reason,
+        "strategy": args.strategy, "engine": args.engine,
+        "reason": result.reason,
         "result": value, "cycles": stats.cycles,
         "instructions": stats.instructions, "loads": stats.loads,
         "stores": stats.stores, "branches": stats.branches,
@@ -86,6 +89,7 @@ def cmd_run(args) -> int:
     }
     lines = [f"workload:     {args.workload} (scale {args.scale})",
              f"strategy:     {args.strategy}",
+             f"engine:       {args.engine}",
              f"stopped:      {result.reason}"]
     if result.fault is not None:
         lines.append(f"fault:        {result.fault.kind} "
@@ -302,10 +306,18 @@ def cmd_verify(args) -> int:
     if args.seeds < 1:
         raise SystemExit("--seeds must be >= 1")
     seeds = range(args.seed_base, args.seed_base + args.seeds)
-    stats, report = run_verify(seeds=seeds,
-                               comparator_trials=args.comparator_trials)
+    # The requested engine leads the differential matrix (it is the
+    # baseline the others are diffed against) and also becomes the
+    # process default, so the smoke batteries exercise it too.
+    engines = ((args.engine,)
+               + tuple(e for e in ENGINES if e != args.engine))
+    with default_engine(args.engine):
+        stats, report = run_verify(
+            seeds=seeds, comparator_trials=args.comparator_trials,
+            engines=engines)
     comparator = report["comparator"]
     lines = [
+        f"engines:           {' vs '.join(report['engines'])}",
         f"oracle runs:       {report['oracle_runs']} "
         f"(seeds {seeds.start}..{seeds.stop - 1}, "
         f"{report['instructions']:,} instructions)",
@@ -388,16 +400,18 @@ def cmd_serve(args) -> int:
         if args.max_inflight else args.cores * args.slots_per_shard)
     rows = []
     runs = {}
-    for scheme in schemes:
-        metrics = simulate_serving(
-            scheme, n_requests=args.requests, seed=args.seed,
-            arrival=args.arrival, offered_load=args.load, config=config)
-        runs[scheme] = metrics.as_dict()
-        rows.append((scheme, f"{metrics.goodput_rps:,.0f}",
-                     f"{metrics.p50_ms:.2f}", f"{metrics.p99_ms:.2f}",
-                     f"{metrics.p999_ms:.2f}", str(metrics.shed),
-                     str(metrics.failed), str(metrics.steals),
-                     str(metrics.peak_inflight)))
+    with default_engine(args.engine):
+        for scheme in schemes:
+            metrics = simulate_serving(
+                scheme, n_requests=args.requests, seed=args.seed,
+                arrival=args.arrival, offered_load=args.load,
+                config=config)
+            runs[scheme] = metrics.as_dict()
+            rows.append((scheme, f"{metrics.goodput_rps:,.0f}",
+                         f"{metrics.p50_ms:.2f}", f"{metrics.p99_ms:.2f}",
+                         f"{metrics.p999_ms:.2f}", str(metrics.shed),
+                         str(metrics.failed), str(metrics.steals),
+                         str(metrics.peak_inflight)))
     table = format_table(
         ("scheme", "goodput req/s", "p50 ms", "p99 ms", "p99.9 ms",
          "shed", "failed", "steals", "peak inflight"), rows)
@@ -423,13 +437,18 @@ def build_parser() -> argparse.ArgumentParser:
     output = argparse.ArgumentParser(add_help=False)
     output.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON instead of tables")
+    # Shared by every subcommand that executes instructions.
+    engine = argparse.ArgumentParser(add_help=False)
+    engine.add_argument("--engine", default="staged",
+                        choices=sorted(ENGINES),
+                        help="execution backend (default: staged)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list-workloads",
                    help="list workloads and strategies").set_defaults(
         func=cmd_list_workloads)
 
-    p = sub.add_parser("run", parents=[output],
+    p = sub.add_parser("run", parents=[output, engine],
                        help="run one workload under one strategy")
     p.add_argument("workload")
     p.add_argument("--strategy", default="hfi",
@@ -481,7 +500,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_telemetry)
 
     p = sub.add_parser(
-        "verify", parents=[output],
+        "verify", parents=[output, engine],
         help="differential oracle + comparator fuzz + invariant probes")
     p.add_argument("--seeds", type=int, default=50,
                    help="number of ISA fuzz seeds to run (default 50)")
@@ -514,7 +533,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
-        "serve", parents=[output],
+        "serve", parents=[output, engine],
         help="discrete-event serving simulator: open-loop load over "
              "sharded pools with work-stealing")
     p.add_argument("--schemes", default="",

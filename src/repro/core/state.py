@@ -263,6 +263,11 @@ class HfiState:
             raise HfiFault(FaultCause.REGION_LOCKED)
         if self._reenter_bank is None:
             raise HfiFault(FaultCause.BAD_REENTER)
+        # The shadow bank pairs with the enter that saved it; installing
+        # the last-exited bank breaks that pairing, so a pending shadow
+        # must not survive into the restored sandbox's next exit (it
+        # would swap in another bank's regions while still enabled).
+        self._shadow = None
         bank = self._reenter_bank
         flags = bank.flags
         self.enters += 1

@@ -12,9 +12,9 @@ The simulator enforces the second property simply by never calling
 :meth:`Cache.access` for a faulting access.
 
 Statistics follow the uniform component-stats API: ``cache.stats()``
-returns a :class:`repro.telemetry.CacheStats` snapshot; the legacy
-``cache.stats.hits`` attribute path still reads through (deprecated).
-Counters stay plain ints on the hot path — the telemetry layer samples
+returns a :class:`repro.telemetry.CacheStats` snapshot (the legacy
+``cache.stats.hits`` read-through shim is gone).  Counters stay plain
+ints on the hot path — the telemetry layer samples
 them at snapshot time instead of intercepting every access.
 """
 
@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from ..params import DEFAULT_PARAMS, MachineParams
-from ..telemetry.stats import CacheStats, StatsAccessor
+from ..telemetry.stats import CacheStats
 
 
 class Cache:
@@ -42,15 +42,11 @@ class Cache:
         self._misses = 0
 
     # ------------------------------------------------------------------
-    # uniform stats API (legacy `cache.stats.hits` reads through)
+    # uniform stats API
     # ------------------------------------------------------------------
-    def _snapshot(self) -> CacheStats:
+    def stats(self) -> CacheStats:
         return CacheStats(component=self.name, hits=self._hits,
                           misses=self._misses)
-
-    @property
-    def stats(self) -> StatsAccessor:
-        return StatsAccessor(self._snapshot)
 
     def _locate(self, addr: int) -> Tuple[int, int]:
         line = addr // self.line_bytes

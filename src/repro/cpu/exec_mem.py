@@ -23,7 +23,7 @@ from .decode import (
 )
 
 
-@decoder(Opcode.MOV)
+@decoder(Opcode.MOV, block_safe=True)
 def _mov(ins, addr, next_rip):
     dst, src = ins.operands[0], ins.operands[1]
     # Fully inlined fast paths for the dominant register-destination
@@ -59,7 +59,7 @@ def _mov(ins, addr, next_rip):
     return run
 
 
-@decoder(Opcode.HMOV0, Opcode.HMOV1, Opcode.HMOV2, Opcode.HMOV3)
+@decoder(Opcode.HMOV0, Opcode.HMOV1, Opcode.HMOV2, Opcode.HMOV3, block_safe=True)
 def _hmov(ins, addr, next_rip):
     region = HMOV_REGION[ins.opcode]
     ops = ins.operands
@@ -82,7 +82,7 @@ def _hmov(ins, addr, next_rip):
     return run
 
 
-@decoder(Opcode.LEA)
+@decoder(Opcode.LEA, block_safe=True)
 def _lea(ins, addr, next_rip):
     ea_of = make_ea(ins.operands[1])
     write_dst = make_writer(ins.operands[0])
@@ -93,7 +93,7 @@ def _lea(ins, addr, next_rip):
     return run
 
 
-@decoder(Opcode.PUSH)
+@decoder(Opcode.PUSH, block_safe=True)
 def _push(ins, addr, next_rip):
     read_src = make_reader(ins.operands[0])
 
@@ -105,7 +105,7 @@ def _push(ins, addr, next_rip):
     return run
 
 
-@decoder(Opcode.POP)
+@decoder(Opcode.POP, block_safe=True)
 def _pop(ins, addr, next_rip):
     write_dst = make_writer(ins.operands[0])
 

@@ -76,7 +76,7 @@ def _lfence(ins, addr, next_rip):
     return run
 
 
-@decoder(Opcode.CLFLUSH)
+@decoder(Opcode.CLFLUSH, block_safe=True)
 def _clflush(ins, addr, next_rip):
     ea_of = make_ea(ins.operands[0])
 
@@ -98,7 +98,7 @@ def _rdtsc(ins, addr, next_rip):
     return run
 
 
-@decoder(Opcode.NOP)
+@decoder(Opcode.NOP, block_safe=True)
 def _nop(ins, addr, next_rip):
     def run(cpu):
         cpu.regs.rip = next_rip
@@ -115,7 +115,7 @@ def _hlt(ins, addr, next_rip):
     return run
 
 
-@decoder(Opcode.XSAVE)
+@decoder(Opcode.XSAVE, block_safe=True)
 def _xsave(ins, addr, next_rip):
     ea_of = make_ea(ins.operands[0])
 
@@ -166,7 +166,7 @@ def _wrpkru(ins, addr, next_rip):
     return run
 
 
-@decoder(Opcode.RDPKRU)
+@decoder(Opcode.RDPKRU, block_safe=True)
 def _rdpkru(ins, addr, next_rip):
     def run(cpu):
         cpu.regs.rip = next_rip

@@ -30,8 +30,10 @@ seam (:mod:`.timing`); and wrong-path squash is an undo log
 
 from __future__ import annotations
 
+import contextlib
+
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Protocol, Tuple, runtime_checkable
 
 from ..core.checks import implicit_code_check
 from ..core.faults import FaultCause, HfiFault
@@ -46,6 +48,7 @@ from ..os.process import Process
 from ..params import DEFAULT_PARAMS, MachineParams
 from ..telemetry.sink import Telemetry, coalesce
 from ..telemetry.stats import DecodeCacheStats
+from .blocks import BlockCache
 from .cache import CacheHierarchy
 from .decode import CodeMap, DecodedOp, _StopSpeculation, decode_one, \
     decode_program
@@ -106,14 +109,105 @@ class RunResult:
         return self.stats.cycles
 
 
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """What every execution engine must provide.
+
+    Three conforming backends ship today, all selected through
+    ``Cpu(engine=...)`` (or the ``--engine`` CLI flag):
+
+    * ``"staged"`` — the per-instruction commit loop over predecoded
+      :class:`~repro.cpu.decode.DecodedOp` closures (the default);
+    * ``"blocks"`` — the staged loop plus superblock compilation of
+      basic blocks (:mod:`repro.cpu.blocks`);
+    * ``"reference"`` — the deliberately naive differential oracle
+      (:class:`repro.verify.reference.ReferenceCpu`).
+
+    A backend must expose the architectural surface the verify layer
+    digests (``regs``, ``hfi``, ``mem``, ``stats``) and the program
+    lifecycle below.  Timing parity beyond the architectural contract
+    is *not* required of every backend (the reference oracle charges a
+    simplified cost model); ``staged`` and ``blocks`` are additionally
+    held bit-identical by the golden-cycle fixture.
+    """
+
+    engine: str
+
+    def load_program(self, program: Program) -> None: ...
+
+    def run(self, entry: int, max_instructions: int = ...) -> RunResult: ...
+
+    def attach_telemetry(self, telemetry: Optional[Telemetry]) -> None: ...
+
+
+#: Engines selectable via ``Cpu(engine=...)`` / ``--engine``.
+ENGINES = ("staged", "blocks", "reference")
+
+#: Process-wide default, used when ``engine`` is not passed explicitly.
+#: The CLI/golden runner thread their ``--engine`` flag through
+#: :func:`default_engine` so deeply nested construction sites (wasm
+#: runtime, workloads, attacks) pick it up without plumbing.
+DEFAULT_ENGINE = "staged"
+
+
+def _validate_engine(engine: str) -> str:
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}")
+    return engine
+
+
+def set_default_engine(engine: str) -> str:
+    """Set the process-wide default engine; returns the previous one."""
+    global DEFAULT_ENGINE
+    previous = DEFAULT_ENGINE
+    DEFAULT_ENGINE = _validate_engine(engine)
+    return previous
+
+
+@contextlib.contextmanager
+def default_engine(engine: str):
+    """Scope the process-wide default engine to a ``with`` block."""
+    previous = set_default_engine(engine)
+    try:
+        yield
+    finally:
+        set_default_engine(previous)
+
+
+def create_backend(engine: Optional[str] = None, **kwargs) -> "ExecutionBackend":
+    """Construct a conforming backend by name (the verify-layer seam)."""
+    return Cpu(engine=engine, **kwargs)
+
+
 class Cpu:
     """A single simulated core."""
+
+    def __new__(cls, params: MachineParams = DEFAULT_PARAMS,
+                memory: Optional[AddressSpace] = None,
+                process: Optional[Process] = None,
+                kernel: Optional[Kernel] = None,
+                telemetry: Optional[Telemetry] = None,
+                engine: Optional[str] = None):
+        # ``Cpu(engine="reference")`` hands back the differential
+        # oracle so every construction site gets engine selection for
+        # free.  ReferenceCpu is not a Cpu subclass (it shares only the
+        # ExecutionBackend surface), so ``__init__`` below is skipped.
+        resolved = _validate_engine(engine or DEFAULT_ENGINE)
+        if resolved == "reference" and cls is Cpu:
+            from ..verify.reference import ReferenceCpu
+            return ReferenceCpu(params=params, memory=memory,
+                                process=process, kernel=kernel,
+                                telemetry=telemetry)
+        return super().__new__(cls)
 
     def __init__(self, params: MachineParams = DEFAULT_PARAMS,
                  memory: Optional[AddressSpace] = None,
                  process: Optional[Process] = None,
                  kernel: Optional[Kernel] = None,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None,
+                 engine: Optional[str] = None):
+        self.engine = _validate_engine(engine or DEFAULT_ENGINE)
         self.params = params
         if process is not None:
             self.mem = process.address_space
@@ -133,10 +227,22 @@ class Cpu:
         self.stats = CpuStats()
         #: Ready-to-run predecoded ops, keyed by mapped address.
         self._decoded: Dict[int, DecodedOp] = {}
+        #: Superblock cache (``blocks`` engine only); CodeMap routes
+        #: code-write invalidations through it so compiled blocks stay
+        #: coherent with self-modifying code.
+        self._blocks = BlockCache(self) if self.engine == "blocks" else None
         #: Raw instruction map; writes invalidate ``_decoded`` entries.
-        self._code: Dict[int, Instruction] = CodeMap(self._decoded)
+        self._code: Dict[int, Instruction] = CodeMap(self._decoded,
+                                                    blocks=self._blocks)
         self._predecoded = 0
         self._lazy_decodes = 0
+        #: Superblock execution bookkeeping: ``_in_block`` guards the
+        #: speculation journal (windows must never open inside a
+        #: compiled block); ``_block_retired`` reports how many of a
+        #: block's instructions committed (exact even on a mid-block
+        #: fault) so the run budget stays instruction-accurate.
+        self._in_block = False
+        self._block_retired = 0
         #: The timing seam — all cycle charging by the exec layer.
         self.timing = TimingModel(self)
         #: Undo log for wrong-path squash (no deepcopy anywhere).
@@ -165,9 +271,9 @@ class Cpu:
         """
         self.telemetry = coalesce(telemetry)
         if self.telemetry.enabled:
-            for name, fn in (("l1d", self.caches.l1d._snapshot),
-                             ("l1i", self.caches.l1i._snapshot),
-                             ("l2", self.caches.l2._snapshot),
+            for name, fn in (("l1d", self.caches.l1d.stats),
+                             ("l1i", self.caches.l1i.stats),
+                             ("l2", self.caches.l2.stats),
                              ("dtlb", self.tlb.stats),
                              ("pht", self.pht.stats),
                              ("btb", self.btb.stats),
@@ -175,6 +281,9 @@ class Cpu:
                              ("decode", self.decode_stats),
                              ("journal", self._journal.stats)):
                 self.telemetry.register_component(name, fn)
+            if self._blocks is not None:
+                self.telemetry.register_component("blocks",
+                                                  self._blocks.stats)
 
     def install_invariant_probe(self, probe) -> None:
         """Arm a sanitizer probe on the speculation journal.
@@ -255,6 +364,12 @@ class Cpu:
         l1i_line = l1i.line_bytes
         l1i_nsets = l1i.n_sets
         l1i_hit_cycles = self.params.l1i_hit_cycles
+        # Superblock dispatch (blocks engine only).  A tracer forces
+        # single-step for the whole run: per-instruction trace records
+        # must interleave with commits exactly.
+        blocks = self._blocks
+        btable = (blocks.table
+                  if blocks is not None and tracer is None else None)
         while executed < max_instructions:
             if self._halted:
                 return RunResult("hlt", stats, rip=regs.rip)
@@ -265,6 +380,33 @@ class Cpu:
                     continue
                 return RunResult("fault", stats, fault=fault, rip=regs.rip)
             pc = regs.rip
+            if btable is not None:
+                blk = btable.get(pc, False)
+                if blk is False:
+                    blk = blocks.compile_at(pc)
+                if blk is not None:
+                    # A block runs whole or not at all: it must fit the
+                    # remaining budget, and (when HFI is on) a single
+                    # code region must cover every pc so the per-fetch
+                    # check can hoist.  Otherwise single-step below
+                    # reproduces the exact per-instruction semantics.
+                    if (executed + blk.n <= max_instructions
+                            and (not hfi_regs.enabled
+                                 or blk.covered(hfi_regs.code))):
+                        try:
+                            blk.run(self)
+                        except HfiFault as fault:
+                            self._raise_fault(fault)
+                        except PageFault as fault:
+                            self._raise_page_fault(fault)
+                        except RegionError as err:
+                            self._raise_fault(HfiFault(
+                                FaultCause.HARDWARE_TRAP, detail=str(err)))
+                        executed += self._block_retired
+                        blocks.executions += 1
+                        blocks.block_instructions += self._block_retired
+                        continue
+                    blocks.fallbacks += 1
             # HFI code-region check happens at decode, before execution
             # and before any micro-op enters the pipeline (§4.1).
             # (``hfi_regs.code`` is re-read per fetch: enter/restore

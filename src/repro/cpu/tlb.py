@@ -5,9 +5,9 @@ Fig. 1), so an HFI-checked access pays no extra latency over the TLB
 path — the simulator models this by charging the TLB cost identically
 whether or not HFI is enabled.
 
-``tlb.stats()`` returns a :class:`repro.telemetry.TlbStats` snapshot;
-the legacy ``tlb.hits`` / ``tlb.misses`` raw attributes remain as
-deprecated read-through properties.
+``tlb.stats()`` returns a :class:`repro.telemetry.TlbStats` snapshot
+(the legacy ``tlb.hits`` / ``tlb.misses`` raw attributes are gone;
+the underscored counters remain plain ints on the hot path).
 """
 
 from __future__ import annotations
@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Dict
 
 from ..params import DEFAULT_PARAMS, MachineParams
-from ..telemetry.stats import TlbStats, deprecated_attribute
+from ..telemetry.stats import TlbStats
 
 
 class Tlb:
@@ -30,21 +30,11 @@ class Tlb:
         self._shootdowns = 0
 
     # ------------------------------------------------------------------
-    # uniform stats API + deprecated raw counters
+    # uniform stats API
     # ------------------------------------------------------------------
     def stats(self) -> TlbStats:
         return TlbStats(component="dtlb", hits=self._hits,
                         misses=self._misses, shootdowns=self._shootdowns)
-
-    @property
-    def hits(self) -> int:
-        return deprecated_attribute(self._hits, "Tlb", "hits",
-                                    "Tlb.stats().hits")
-
-    @property
-    def misses(self) -> int:
-        return deprecated_attribute(self._misses, "Tlb", "misses",
-                                    "Tlb.stats().misses")
 
     def access(self, addr: int) -> int:
         """Translate; returns added latency (0 on hit, walk cost on miss)."""

@@ -28,7 +28,7 @@ from .stats import (
     SandboxStats,
     ServingStats,
     ShardedPoolStats,
-    StatsAccessor,
+    SuperblockStats,
     TlbStats,
     TracerStats,
     VerifyStats,
@@ -38,7 +38,7 @@ __all__ = [
     "Telemetry", "NullTelemetry", "NULL_TELEMETRY", "SANDBOX_CYCLES",
     "coalesce", "Counter", "Histogram", "CycleAccumulator",
     "MetricsRegistry", "Span", "SpanLog",
-    "ComponentStats", "StatsAccessor", "CacheStats", "TlbStats",
+    "ComponentStats", "SuperblockStats", "CacheStats", "TlbStats",
     "PredictorStats", "TracerStats", "SandboxStats",
     "SandboxManagerStats", "HfiDeviceStats", "PoolStats", "KernelStats",
     "VerifyStats", "RobustnessStats", "ServingStats", "ShardedPoolStats",

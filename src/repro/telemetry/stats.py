@@ -11,17 +11,17 @@ includes derived properties (hit rates, shares) alongside raw
 counters, which is what the JSON/CSV exporters and ``repro-hfi
 telemetry --json`` emit.
 
-Legacy access paths (``cache.stats.hits``, ``tlb.hits``,
-``tracer.mix`` …) keep working as deprecated read-throughs so older
-experiment scripts survive the redesign; see :class:`StatsAccessor`.
+``component.stats()`` is the *only* supported surface: the PR-1
+transition shims (``StatsAccessor`` read-throughs like
+``cache.stats.hits`` and deprecated raw counters like ``tlb.hits``)
+have been removed after a deprecation cycle.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List
 
 
 @dataclass
@@ -38,50 +38,6 @@ class ComponentStats:
                 if isinstance(attr, property) and name not in out:
                     out[name] = getattr(self, name)
         return out
-
-
-class StatsAccessor:
-    """Makes ``obj.stats()`` and legacy ``obj.stats.<field>`` coexist.
-
-    Components that historically exposed a ``stats`` *attribute*
-    (notably :class:`~repro.cpu.cache.Cache`) return one of these from
-    a ``stats`` property: calling it yields the fresh
-    :class:`ComponentStats` snapshot (the new API); reading a counter
-    off it directly still works but raises a :class:`DeprecationWarning`.
-    """
-
-    __slots__ = ("_build",)
-
-    def __init__(self, build: Callable[[], ComponentStats]):
-        object.__setattr__(self, "_build", build)
-
-    def __call__(self) -> ComponentStats:
-        return self._build()
-
-    def __getattr__(self, name: str):
-        if name.startswith("_"):
-            raise AttributeError(name)
-        snapshot = self._build()
-        try:
-            value = getattr(snapshot, name)
-        except AttributeError:
-            raise AttributeError(
-                f"{type(snapshot).__name__} has no field {name!r}")
-        warnings.warn(
-            f"reading .stats.{name} is deprecated; call "
-            f".stats().{name} instead", DeprecationWarning, stacklevel=2)
-        return value
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return repr(self._build())
-
-
-def deprecated_attribute(value, owner: str, name: str, replacement: str):
-    """Emit the standard deprecation warning for a legacy raw counter."""
-    warnings.warn(
-        f"{owner}.{name} is deprecated; use {replacement}",
-        DeprecationWarning, stacklevel=3)
-    return value
 
 
 # ----------------------------------------------------------------------
@@ -332,6 +288,33 @@ class SpeculationJournalStats(ComponentStats):
     @property
     def entries_per_window(self) -> float:
         return self.reg_entries / self.windows if self.windows else 0.0
+
+
+@dataclass
+class SuperblockStats(ComponentStats):
+    """Superblock-compiler effectiveness (``blocks`` engine only).
+
+    ``compiled``/``invalidated`` count block formation and
+    code-write-driven teardown; ``cached`` is the live table size
+    (including negative entries for too-short runs).  ``executions``
+    is block dispatches, ``block_instructions`` the instructions they
+    retired — their ratio is the fused run length the engine actually
+    achieves.  ``fallbacks`` counts dispatches that found a compiled
+    block but single-stepped anyway (HFI coverage not hoistable, or
+    the block didn't fit the remaining instruction budget).
+    """
+
+    compiled: int = 0
+    invalidated: int = 0
+    executions: int = 0
+    block_instructions: int = 0
+    fallbacks: int = 0
+    cached: int = 0
+
+    @property
+    def mean_block_length(self) -> float:
+        return (self.block_instructions / self.executions
+                if self.executions else 0.0)
 
 
 @dataclass

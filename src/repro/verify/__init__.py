@@ -6,8 +6,9 @@ recycling runtime:
 * :mod:`repro.verify.reference` — a deliberately naive straight-line
   interpreter whose architectural end state is the oracle.
 * :mod:`repro.verify.fuzz_isa` — seeded program generation over the
-  full opcode table, executed on both engines with full-state equality
-  asserted.
+  full opcode table, executed on every conforming execution backend
+  (staged, superblock-compiling, reference) with full-state equality
+  asserted against the first.
 * :mod:`repro.verify.fuzz_checks` — randomized sweep of the §4.2
   hardware comparator against the golden hmov semantics, with every
   disagreement classified.
@@ -41,6 +42,7 @@ from .fuzz_checks import (
     sweep,
 )
 from .fuzz_isa import (
+    DEFAULT_ENGINES,
     DifferentialOutcome,
     FuzzCase,
     architectural_digest,
@@ -61,7 +63,7 @@ from .reference import ReferenceCpu
 __all__ = [
     "ReferenceCpu",
     "FuzzCase", "DifferentialOutcome", "build_case", "run_differential",
-    "run_seeds", "architectural_digest",
+    "run_seeds", "architectural_digest", "DEFAULT_ENGINES",
     "ComparatorSweep", "ComparatorTrial", "classify", "sweep",
     "boundary_sweep", "AGREE", "PERMISSION", "VA_WIDTH", "UNCLASSIFIED",
     "PoolInvariants", "SpeculationIdentityProbe", "InvariantViolation",
@@ -232,17 +234,22 @@ def run_verify(seeds: Iterable[int] = range(50),
                comparator_trials: int = 20_000,
                comparator_seed: int = 0,
                params: Optional[MachineParams] = None,
+               engines: Tuple[str, ...] = DEFAULT_ENGINES,
                ) -> Tuple[VerifyStats, Dict[str, object]]:
     """Run the whole verify battery; returns (stats, detail report).
 
-    ``stats.clean`` is the gate: zero staged-vs-reference divergences,
-    zero unclassified comparator disagreements, zero poison hits, zero
+    ``engines`` is the differential-oracle matrix: every backend in the
+    tuple runs every seed, and full architectural state is asserted
+    equal against the first entry.
+
+    ``stats.clean`` is the gate: zero cross-engine divergences, zero
+    unclassified comparator disagreements, zero poison hits, zero
     invariant violations.
     """
     stats = VerifyStats(component="verify")
     failures: List[str] = []
 
-    outcomes = run_seeds(seeds, params=params)
+    outcomes = run_seeds(seeds, params=params, engines=engines)
     stats.oracle_runs = len(outcomes)
     for outcome in outcomes:
         if not outcome.ok:
@@ -266,6 +273,7 @@ def run_verify(seeds: Iterable[int] = range(50),
     _determinism_smoke(stats, failures, params=params)
 
     report = {
+        "engines": list(engines),
         "oracle_runs": stats.oracle_runs,
         "divergences": stats.divergences,
         "instructions": sum(o.instructions for o in outcomes),

@@ -1,4 +1,4 @@
-"""Seeded ISA-level differential fuzzing: staged engine vs. reference.
+"""Seeded ISA-level differential fuzzing across execution backends.
 
 ``build_case(seed)`` generates a well-formed program over the full
 opcode table — ALU traffic, loads/stores of every operand size,
@@ -7,16 +7,21 @@ indirect calls, HFI sandbox episodes (region installs, ``hfi_enter``
 in every flag combination, in- and out-of-bounds ``hmov``,
 ``hfi_exit``/``hfi_reenter``), ``xsave``/``xrstor`` pairs, syscalls,
 and deliberately-faulting accesses.  ``run_differential(seed)`` then
-executes the same program on the staged :class:`~repro.cpu.Cpu` and on
-the naive :class:`~repro.verify.reference.ReferenceCpu` starting from
-bit-identical address spaces, and asserts equality of the full
-architectural end state: every GPR, the flags, ``rip``, the stop
-reason, the fault record, the committed-instruction count, the HFI
-bank (regions, sandbox flags, cause MSR, lifecycle counters), and all
-non-zero memory.
+executes the same program on every requested engine — by default the
+staged interpreter, the superblock-compiling ``blocks`` engine, and
+the naive :class:`~repro.verify.reference.ReferenceCpu` — starting
+from bit-identical address spaces, and asserts equality of the full
+architectural end state against the first engine: every GPR, the
+flags, ``rip``, the stop reason, the fault record, the
+committed-instruction count, the HFI bank (regions, sandbox flags,
+cause MSR, lifecycle counters), and all non-zero memory.
+
+Backends are constructed by name through
+:func:`repro.cpu.machine.create_backend` — the public engine seam —
+so a new conforming backend joins the matrix by adding its name.
 
 ``rdtsc`` is the one architectural instruction never generated: it
-reads the cycle counter, which only the staged engine models.
+reads the cycle counter, which the reference engine does not model.
 """
 
 from __future__ import annotations
@@ -32,14 +37,17 @@ from ..core.regions import (
     ImplicitDataRegion,
 )
 from ..core.registers import SandboxFlags
-from ..cpu.machine import Cpu
+from ..cpu.machine import create_backend
 from ..isa.assembler import Assembler
 from ..isa.instruction import Program
 from ..isa.operands import Imm, LabelRef, Mem
 from ..isa.registers import Reg
 from ..os.address_space import AddressSpace, Prot
 from ..params import MachineParams
-from .reference import ReferenceCpu
+
+#: The default differential matrix: every conforming backend, with the
+#: staged interpreter as the baseline the others are compared against.
+DEFAULT_ENGINES: Tuple[str, ...] = ("staged", "blocks", "reference")
 
 # ----------------------------------------------------------------------
 # fixed memory layout shared by every generated case
@@ -471,13 +479,14 @@ def build_case(seed: int) -> FuzzCase:
 # ----------------------------------------------------------------------
 # differential execution
 # ----------------------------------------------------------------------
-def _fresh_engine(engine_cls, case: FuzzCase, params: MachineParams):
+def _fresh_backend(engine: str, case: FuzzCase, params: MachineParams):
+    """A named backend with the case's address space, program loaded."""
     space = AddressSpace(params)
     for base, length, prot, name in case.mappings:
         space.mmap(length, prot, addr=base, name=name)
     for addr, data in case.preload:
         space.write_bytes(addr, data, check=False)
-    cpu = engine_cls(params=params, memory=space)
+    cpu = create_backend(engine, params=params, memory=space)
     cpu.load_program(case.program)
     return cpu
 
@@ -544,63 +553,74 @@ class DifferentialOutcome:
         return not self.divergences
 
 
-def _diff_digests(staged: Dict, reference: Dict, out: List[str]) -> None:
-    for name, value in staged["regs"].items():
-        other = reference["regs"][name]
-        if value != other:
-            out.append(f"reg {name}: staged={value:#x} "
-                       f"reference={other:#x}")
-    if staged["flags"] != reference["flags"]:
-        out.append(f"flags: staged={staged['flags']} "
-                   f"reference={reference['flags']}")
-    if staged["rip"] != reference["rip"]:
-        out.append(f"rip: staged={staged['rip']:#x} "
-                   f"reference={reference['rip']:#x}")
-    for key, value in staged["hfi"].items():
-        other = reference["hfi"][key]
-        if value != other:
-            out.append(f"hfi.{key}: staged={value!r} reference={other!r}")
-    pages = set(staged["memory"]) | set(reference["memory"])
+def _diff_digests(base: Dict, other: Dict, base_name: str,
+                  other_name: str, out: List[str]) -> None:
+    for name, value in base["regs"].items():
+        theirs = other["regs"][name]
+        if value != theirs:
+            out.append(f"reg {name}: {base_name}={value:#x} "
+                       f"{other_name}={theirs:#x}")
+    if base["flags"] != other["flags"]:
+        out.append(f"flags: {base_name}={base['flags']} "
+                   f"{other_name}={other['flags']}")
+    if base["rip"] != other["rip"]:
+        out.append(f"rip: {base_name}={base['rip']:#x} "
+                   f"{other_name}={other['rip']:#x}")
+    for key, value in base["hfi"].items():
+        theirs = other["hfi"][key]
+        if value != theirs:
+            out.append(f"hfi.{key}: {base_name}={value!r} "
+                       f"{other_name}={theirs!r}")
+    pages = set(base["memory"]) | set(other["memory"])
     for page in sorted(pages):
-        mine = staged["memory"].get(page)
-        theirs = reference["memory"].get(page)
+        mine = base["memory"].get(page)
+        theirs = other["memory"].get(page)
         if mine != theirs:
-            out.append(f"memory page {page:#x} differs "
-                       f"(staged={'present' if mine else 'absent'}, "
-                       f"reference={'present' if theirs else 'absent'})")
+            out.append(
+                f"memory page {page:#x} differs "
+                f"({base_name}={'present' if mine else 'absent'}, "
+                f"{other_name}={'present' if theirs else 'absent'})")
 
 
 def run_differential(seed: int,
                      params: Optional[MachineParams] = None,
-                     max_instructions: int = 200_000) -> DifferentialOutcome:
-    """Run one seed on both engines and report every disagreement."""
+                     max_instructions: int = 200_000,
+                     engines: Tuple[str, ...] = DEFAULT_ENGINES,
+                     ) -> DifferentialOutcome:
+    """Run one seed on every engine; report disagreements vs the first."""
     params = params if params is not None else MachineParams()
     case = build_case(seed)
-    staged = _fresh_engine(Cpu, case, params)
-    reference = _fresh_engine(ReferenceCpu, case, params)
-    staged_out = _guarded_run(staged, case.entry, case.max_instructions)
-    ref_out = _guarded_run(reference, case.entry, case.max_instructions)
+    base_name = engines[0]
+    base = _fresh_backend(base_name, case, params)
+    base_out = _guarded_run(base, case.entry, case.max_instructions)
 
     outcome = DifferentialOutcome(
-        seed=seed, reason=str(staged_out.get("reason", "exception")),
-        instructions=staged.stats.instructions)
-    for key in sorted(set(staged_out) | set(ref_out)):
-        if staged_out.get(key) != ref_out.get(key):
+        seed=seed, reason=str(base_out.get("reason", "exception")),
+        instructions=base.stats.instructions)
+    base_ok = "exception" not in base_out
+    base_digest = architectural_digest(base) if base_ok else None
+    for other_name in engines[1:]:
+        other = _fresh_backend(other_name, case, params)
+        other_out = _guarded_run(other, case.entry, case.max_instructions)
+        for key in sorted(set(base_out) | set(other_out)):
+            if base_out.get(key) != other_out.get(key):
+                outcome.divergences.append(
+                    f"outcome.{key}: {base_name}={base_out.get(key)!r} "
+                    f"{other_name}={other_out.get(key)!r}")
+        if not base_ok or "exception" in other_out:
+            continue
+        if base.stats.instructions != other.stats.instructions:
             outcome.divergences.append(
-                f"outcome.{key}: staged={staged_out.get(key)!r} "
-                f"reference={ref_out.get(key)!r}")
-    if "exception" in staged_out or "exception" in ref_out:
-        return outcome
-    if staged.stats.instructions != reference.stats.instructions:
-        outcome.divergences.append(
-            f"instructions: staged={staged.stats.instructions} "
-            f"reference={reference.stats.instructions}")
-    _diff_digests(architectural_digest(staged),
-                  architectural_digest(reference), outcome.divergences)
+                f"instructions: {base_name}={base.stats.instructions} "
+                f"{other_name}={other.stats.instructions}")
+        _diff_digests(base_digest, architectural_digest(other),
+                      base_name, other_name, outcome.divergences)
     return outcome
 
 
-def run_seeds(seeds, params: Optional[MachineParams] = None
+def run_seeds(seeds, params: Optional[MachineParams] = None,
+              engines: Tuple[str, ...] = DEFAULT_ENGINES,
               ) -> List[DifferentialOutcome]:
     """Differentially execute every seed; returns one outcome per seed."""
-    return [run_differential(seed, params=params) for seed in seeds]
+    return [run_differential(seed, params=params, engines=engines)
+            for seed in seeds]

@@ -63,14 +63,27 @@ _CONDITIONS = {
 class ReferenceCpu:
     """Straight-line architectural interpreter of ``isa`` programs.
 
-    The public surface mirrors the subset of :class:`repro.cpu.Cpu`
-    that the differential harness needs: ``load_program``, ``run``,
-    ``regs``, ``hfi``, ``mem``, ``stats``, ``fault_resume_address``.
+    A conforming :class:`repro.cpu.machine.ExecutionBackend`: it is
+    what ``Cpu(engine="reference")`` (and ``--engine reference``)
+    hands back.  The public surface mirrors the subset of
+    :class:`repro.cpu.Cpu` that the differential harness needs:
+    ``load_program``, ``run``, ``regs``, ``hfi``, ``mem``, ``stats``,
+    ``fault_resume_address``.  ``telemetry`` is accepted for
+    constructor parity but the oracle registers no components — it has
+    no microarchitecture to observe, and keeping it bare is what makes
+    it a trustworthy oracle.
     """
+
+    engine = "reference"
 
     def __init__(self, params: MachineParams = DEFAULT_PARAMS,
                  memory: Optional[AddressSpace] = None,
-                 process=None, kernel=None):
+                 process=None, kernel=None, telemetry=None,
+                 engine: Optional[str] = None):
+        if engine not in (None, "reference"):
+            raise ValueError(
+                f"ReferenceCpu only implements engine='reference', "
+                f"got {engine!r}")
         self.params = params
         if process is not None:
             self.mem = process.address_space
@@ -89,6 +102,9 @@ class ReferenceCpu:
         self._fault: Optional[FaultInfo] = None
         self.fault_resume_address: Optional[int] = None
         self.enforce_pkeys = process is not None
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Backend-protocol no-op: the oracle exposes no components."""
 
     # ------------------------------------------------------------------
     # program loading

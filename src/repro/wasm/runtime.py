@@ -70,12 +70,16 @@ class WasmRuntime:
     def __init__(self, params: MachineParams = DEFAULT_PARAMS,
                  space: Optional[AddressSpace] = None,
                  kernel: Optional[Kernel] = None,
-                 code_budget: int = _DEFAULT_CODE_BUDGET):
+                 code_budget: int = _DEFAULT_CODE_BUDGET,
+                 engine: Optional[str] = None):
         self.params = params
         self.space = space if space is not None else AddressSpace(params)
         self.kernel = kernel
         self.code_budget = code_budget
-        self.cpu = Cpu(params, memory=self.space)
+        # ``engine=None`` defers to the process-wide default, so a CLI
+        # ``--engine`` flag (threaded through ``default_engine``)
+        # reaches runtimes constructed deep inside workloads.
+        self.cpu = Cpu(params, memory=self.space, engine=engine)
         self.instances: List[WasmInstance] = []
 
     # ------------------------------------------------------------------

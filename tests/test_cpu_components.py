@@ -64,9 +64,10 @@ class TestCache:
         cache.access(0x0)
         cache.access(0x0)
         cache.access(0x40)
-        assert cache.stats.hits == 1
-        assert cache.stats.misses == 2
-        assert 0 < cache.stats.hit_rate < 1
+        snap = cache.stats()
+        assert snap.hits == 1
+        assert snap.misses == 2
+        assert 0 < snap.hit_rate < 1
 
 
 class TestHierarchy:

@@ -16,13 +16,19 @@ from repro.workloads.golden import GOLDEN_WORKLOADS, run_all
 
 GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_cycles.json"
 
+#: Engines that promise bit-identical timing.  The reference oracle is
+#: excluded on purpose: it guarantees architectural state only.
+CYCLE_PARITY_ENGINES = ("staged", "blocks")
 
-@pytest.fixture(scope="module")
-def fresh():
+
+@pytest.fixture(scope="module", params=CYCLE_PARITY_ENGINES)
+def fresh(request):
     # One pass over the whole registry, in order: some workload
     # builders share module-global counters, so ordering is part of
-    # the contract (see repro.workloads.golden).
-    return run_all()
+    # the contract (see repro.workloads.golden).  Parametrized over
+    # every engine with cycle parity: the superblock compiler must not
+    # move a single counter relative to the staged interpreter.
+    return run_all(engine=request.param)
 
 
 @pytest.fixture(scope="module")

@@ -234,31 +234,47 @@ class TestNullSinkParity:
 
 
 class TestUniformStats:
-    def test_cache_stats_match_legacy_attributes(self):
+    def test_cache_stats_snapshot(self):
         cache = Cache(sets=4, ways=2, name="l1d")
         cache.access(0x1000)
         cache.access(0x1000)
         cache.access(0x8000)
         snap = cache.stats()
-        with pytest.warns(DeprecationWarning):
-            legacy_hits = cache.stats.hits
-        with pytest.warns(DeprecationWarning):
-            legacy_misses = cache.stats.misses
-        assert snap.hits == legacy_hits == 1
-        assert snap.misses == legacy_misses == 2
+        assert snap.hits == 1
+        assert snap.misses == 2
         assert snap.accesses == 3
         assert snap.component == "l1d"
 
-    def test_tlb_stats_match_legacy_attributes(self, params):
+    def test_cache_legacy_readthrough_removed(self):
+        """PR-1's StatsAccessor shim (``cache.stats.hits``) is gone:
+        ``stats`` is a plain method now, and the snapshot it returns is
+        detached from the live counters."""
+        cache = Cache(sets=4, ways=2, name="l1d")
+        cache.access(0x1000)
+        with pytest.raises(AttributeError):
+            cache.stats.hits
+        snap = cache.stats()
+        cache.access(0x1000)
+        assert snap.misses == 1 and snap.hits == 0   # frozen in time
+
+    def test_tlb_stats_snapshot(self, params):
         tlb = Tlb(params)
         tlb.access(0x1000)
         tlb.access(0x1000)
         snap = tlb.stats()
-        with pytest.warns(DeprecationWarning):
-            assert tlb.hits == snap.hits
-        with pytest.warns(DeprecationWarning):
-            assert tlb.misses == snap.misses
+        assert snap.hits == 1 and snap.misses == 1
         assert snap.accesses == 2
+
+    def test_tlb_legacy_attributes_removed(self, params):
+        """The deprecated ``tlb.hits``/``tlb.misses`` raw-counter
+        properties were removed with the shim layer."""
+        tlb = Tlb(params)
+        tlb.access(0x1000)
+        with pytest.raises(AttributeError):
+            tlb.hits
+        with pytest.raises(AttributeError):
+            tlb.misses
+        assert tlb.stats().misses == 1
 
     def test_predictor_stats_accounting(self):
         pht = PatternHistoryTable(size=16)
