@@ -33,8 +33,26 @@ def gate(passed, **detail) -> Dict:
     return {"passed": bool(passed), **detail}
 
 
+def _backend_defaults() -> Dict:
+    """The process-wide execution/timing backends at envelope time.
+
+    Every result in a ``BENCH_*.json`` was produced by *some* engine
+    and timing model; a payload that does not say which is ambiguous
+    the moment a second backend exists.  Benchmarks that sweep
+    backends override these keys in their own ``config``."""
+    try:
+        from repro.cpu import machine
+    except ImportError:
+        return {"engine": None, "timing": None}
+    return {"engine": machine.DEFAULT_ENGINE,
+            "timing": machine.timing_seam.DEFAULT_TIMING}
+
+
 def envelope(bench: str, config: Dict, results: Dict,
              gates: Dict[str, Dict]) -> Dict:
+    config = dict(config)
+    for key, value in _backend_defaults().items():
+        config.setdefault(key, value)
     return {
         "schema_version": SCHEMA_VERSION,
         "bench": bench,

@@ -225,7 +225,8 @@ def main() -> int:
     }
     payload = write_envelope(
         args.out, "dispatch_speedup",
-        config={"engines": list(ENGINES), "repeat": args.repeat,
+        config={"engines": list(ENGINES), "engine": None,  # swept
+                "timing": "inorder", "repeat": args.repeat,
                 "speedup_floor": SPEEDUP_FLOOR,
                 "dispatch_suite": [list(e) for e in DISPATCH_SUITE],
                 "mixed_suite": [list(e) for e in MIXED_SUITE]},

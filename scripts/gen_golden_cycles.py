@@ -1,32 +1,48 @@
-"""Regenerate tests/golden_cycles.json from the golden workloads.
+"""Regenerate the golden-cycle fixtures from the golden workloads.
 
 Run from the repo root::
 
-    PYTHONPATH=src python scripts/gen_golden_cycles.py
+    PYTHONPATH=src python scripts/gen_golden_cycles.py            # in-order
+    PYTHONPATH=src python scripts/gen_golden_cycles.py --timing ooo
 
-Only regenerate for a change that is *supposed* to alter timing —
-refactors must leave this file byte-identical (that is the point of
-the fixture; see src/repro/workloads/golden.py).
+Each timing model has its own fixture file (``tests/golden_cycles.json``
+for in-order, ``tests/golden_cycles_ooo.json`` for the out-of-order
+backend) because the models legitimately disagree on cycle counts while
+agreeing on every architectural counter.  Only regenerate a fixture for
+a change that is *supposed* to alter that model's timing — refactors
+must leave it byte-identical (that is the point of the fixture; see
+src/repro/workloads/golden.py).
 """
 
+import argparse
 import json
 import pathlib
 import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
+from repro.cpu.timing import TIMING_MODELS  # noqa: E402
 from repro.workloads.golden import run_all  # noqa: E402
 
-OUT = pathlib.Path(__file__).resolve().parents[1] / "tests" / \
-    "golden_cycles.json"
+TESTS = pathlib.Path(__file__).resolve().parents[1] / "tests"
+FIXTURES = {
+    "inorder": TESTS / "golden_cycles.json",
+    "ooo": TESTS / "golden_cycles_ooo.json",
+}
 
 
 def main() -> None:
-    results = run_all()
-    OUT.write_text(json.dumps(results, indent=2, sort_keys=False) + "\n")
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--timing", default="inorder",
+                        choices=sorted(TIMING_MODELS),
+                        help="timing model to freeze (default: inorder)")
+    args = parser.parse_args()
+    out = FIXTURES[args.timing]
+    results = run_all(timing=args.timing)
+    out.write_text(json.dumps(results, indent=2, sort_keys=False) + "\n")
     total = sum(m.get("cycles", 0) for m in results.values()
                 if isinstance(m.get("cycles", 0), int))
-    print(f"wrote {OUT} ({len(results)} workloads, {total} total cycles)")
+    print(f"wrote {out} ({len(results)} workloads, {total} total cycles)")
 
 
 if __name__ == "__main__":

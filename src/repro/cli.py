@@ -22,7 +22,8 @@ import sys
 from typing import List, Optional
 
 from .analysis import format_table, format_telemetry
-from .cpu.machine import ENGINES, default_engine
+from .cpu.machine import (ENGINES, TIMING_MODELS, default_engine,
+                          default_timing)
 from .params import MachineParams
 from .wasm import STRATEGIES, WasmRuntime, make_strategy
 
@@ -55,14 +56,15 @@ def cmd_list_workloads(args) -> int:
 
 
 def _run_one(name: str, strategy_name: str, scale: int,
-             engine: Optional[str] = None):
+             engine: Optional[str] = None,
+             timing: Optional[str] = None):
     workloads = _all_workloads()
     if name not in workloads:
         raise SystemExit(f"unknown workload {name!r}; "
                          f"try: repro-hfi list-workloads")
     _, builder = workloads[name]
     module = builder(scale)
-    runtime = WasmRuntime(MachineParams(), engine=engine)
+    runtime = WasmRuntime(MachineParams(), engine=engine, timing=timing)
     instance = runtime.instantiate(module, make_strategy(strategy_name))
     result = runtime.run(instance)
     value = runtime.space.read(instance.layout.globals_base)
@@ -71,11 +73,13 @@ def _run_one(name: str, strategy_name: str, scale: int,
 
 def cmd_run(args) -> int:
     result, value, instance = _run_one(args.workload, args.strategy,
-                                       args.scale, engine=args.engine)
+                                       args.scale, engine=args.engine,
+                                       timing=args.timing)
     stats = result.stats
     payload = {
         "workload": args.workload, "scale": args.scale,
         "strategy": args.strategy, "engine": args.engine,
+        "timing": args.timing,
         "reason": result.reason,
         "result": value, "cycles": stats.cycles,
         "instructions": stats.instructions, "loads": stats.loads,
@@ -90,6 +94,7 @@ def cmd_run(args) -> int:
     lines = [f"workload:     {args.workload} (scale {args.scale})",
              f"strategy:     {args.strategy}",
              f"engine:       {args.engine}",
+             f"timing:       {args.timing}",
              f"stopped:      {result.reason}"]
     if result.fault is not None:
         lines.append(f"fault:        {result.fault.kind} "
@@ -311,13 +316,16 @@ def cmd_verify(args) -> int:
     # process default, so the smoke batteries exercise it too.
     engines = ((args.engine,)
                + tuple(e for e in ENGINES if e != args.engine))
-    with default_engine(args.engine):
+    timings = ((args.timing,)
+               + tuple(t for t in TIMING_MODELS if t != args.timing))
+    with default_engine(args.engine), default_timing(args.timing):
         stats, report = run_verify(
             seeds=seeds, comparator_trials=args.comparator_trials,
-            engines=engines)
+            engines=engines, timings=timings)
     comparator = report["comparator"]
     lines = [
         f"engines:           {' vs '.join(report['engines'])}",
+        f"timing matrix:     {' vs '.join(report['matrix'])}",
         f"oracle runs:       {report['oracle_runs']} "
         f"(seeds {seeds.start}..{seeds.stop - 1}, "
         f"{report['instructions']:,} instructions)",
@@ -400,7 +408,7 @@ def cmd_serve(args) -> int:
         if args.max_inflight else args.cores * args.slots_per_shard)
     rows = []
     runs = {}
-    with default_engine(args.engine):
+    with default_engine(args.engine), default_timing(args.timing):
         for scheme in schemes:
             metrics = simulate_serving(
                 scheme, n_requests=args.requests, seed=args.seed,
@@ -422,7 +430,8 @@ def cmd_serve(args) -> int:
     payload = {"config": {"requests": args.requests, "seed": args.seed,
                           "arrival": args.arrival, "load": args.load,
                           "cores": args.cores,
-                          "slots_per_shard": args.slots_per_shard},
+                          "slots_per_shard": args.slots_per_shard,
+                          "engine": args.engine, "timing": args.timing},
                "schemes": runs}
     _emit(args, payload, f"{header}\n\n{table}")
     # every request must be accounted for in every run
@@ -442,6 +451,9 @@ def build_parser() -> argparse.ArgumentParser:
     engine.add_argument("--engine", default="staged",
                         choices=sorted(ENGINES),
                         help="execution backend (default: staged)")
+    engine.add_argument("--timing", default="inorder",
+                        choices=sorted(TIMING_MODELS),
+                        help="timing backend (default: inorder)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list-workloads",

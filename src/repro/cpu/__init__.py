@@ -17,7 +17,15 @@ from .predictors import (
     PatternHistoryTable,
     ReturnStackBuffer,
 )
-from .timing import TimingModel
+from .timing import (
+    TIMING_MODELS,
+    InOrderTiming,
+    TimingBackend,
+    TimingModel,
+    create_timing,
+    default_timing,
+    set_default_timing,
+)
 from .tlb import Tlb
 from .trace import TraceEntry, Tracer
 
@@ -26,4 +34,6 @@ __all__ = [
     "CacheStats", "Tlb", "PatternHistoryTable", "BranchTargetBuffer",
     "ReturnStackBuffer", "Tracer", "TraceEntry", "CodeMap", "DecodedOp",
     "decode_one", "decode_program", "SpeculationJournal", "TimingModel",
+    "InOrderTiming", "TimingBackend", "TIMING_MODELS", "create_timing",
+    "default_timing", "set_default_timing",
 ]

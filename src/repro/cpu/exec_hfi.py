@@ -40,9 +40,13 @@ def _hfi_enter(ins, addr, next_rip):
             raise _StopSpeculation()
         cost = cpu.hfi.enter(flags, handler)
         if not cpu._speculative:
+            # A serialized enter is a pipeline drain (§3.4); unserialized
+            # enters are plain transition cost.
+            if flags.is_serialized:
+                cpu.timing.serialize_drain(cost)
+            else:
+                cpu.timing.charge(cost)
             stats = cpu.stats
-            stats.cycles += cost
-            stats.serializations += 1 if flags.is_serialized else 0
             telemetry = cpu.telemetry
             if telemetry.enabled:
                 telemetry.count("cpu.hfi_enter")
@@ -57,13 +61,20 @@ def _hfi_enter(ins, addr, next_rip):
 def _hfi_exit(ins, addr, next_rip):
     def run(cpu):
         cpu.regs.rip = next_rip
-        if cpu._speculative and cpu.hfi.flags.is_serialized:
+        serialized = cpu.hfi.flags.is_serialized
+        if cpu._speculative and serialized:
             # A serialized exit cannot be speculated past (§3.4).
             raise _StopSpeculation()
         outcome = cpu.hfi.exit()
         if not cpu._speculative:
+            # Exit drains like enter when serialized, but the
+            # ``serializations`` lifecycle counter only counts enters
+            # (count=False keeps it architecturally comparable).
+            if serialized:
+                cpu.timing.serialize_drain(outcome.cycles, count=False)
+            else:
+                cpu.timing.charge(outcome.cycles)
             stats = cpu.stats
-            stats.cycles += outcome.cycles
             telemetry = cpu.telemetry
             if telemetry.enabled:
                 telemetry.count("cpu.hfi_exit")
@@ -80,8 +91,8 @@ def _hfi_reenter(ins, addr, next_rip):
         cpu.regs.rip = next_rip
         cost = cpu.hfi.reenter()
         if not cpu._speculative:
+            cpu.timing.charge(cost)
             stats = cpu.stats
-            stats.cycles += cost
             telemetry = cpu.telemetry
             if telemetry.enabled:
                 telemetry.count("cpu.hfi_reenter")
@@ -102,8 +113,8 @@ def _hfi_set_region(ins, addr, next_rip):
             _descriptor_read(cpu, ptr, REGION_DESCRIPTOR_BYTES))
         cost = cpu.hfi.set_region(number, region)
         if not cpu._speculative:
+            cpu.timing.charge(cost)
             stats = cpu.stats
-            stats.cycles += cost
             telemetry = cpu.telemetry
             if telemetry.enabled:
                 telemetry.count("cpu.region_install")

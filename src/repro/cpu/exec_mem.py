@@ -75,9 +75,14 @@ def _hmov(ins, addr, next_rip):
 
     def run(cpu):
         cpu.regs.rip = next_rip
+        timing = cpu.timing
         extra = cpu.params.hmov_extra_cycles
-        if extra:
-            cpu.timing.charge(extra)
+        # §4.2: the bounds check is its own micro-op.  In-order backends
+        # only pay when a calibration makes it non-free; the OoO
+        # backend always routes it through ``hmov_check`` so the check
+        # can overlap the access's dTLB lookup structurally.
+        if extra or not timing.inline_commit:
+            timing.hmov_check(extra)
         write_dst(cpu, read_src(cpu))
     return run
 

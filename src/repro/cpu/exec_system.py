@@ -36,7 +36,9 @@ def _syscall(ins, addr, next_rip):
             # Native sandbox: the syscall became a jump to the exit
             # handler (§4.4); the cause MSR already says which call.
             stats.interposed_syscalls += 1
-            stats.cycles += outcome.cycles
+            # The interposed transition serializes like an exit but is
+            # counted by its own lifecycle counter.
+            cpu.timing.serialize_drain(outcome.cycles, count=False)
             telemetry = cpu.telemetry
             if telemetry.enabled:
                 telemetry.count("cpu.syscall.interposed")
@@ -54,9 +56,12 @@ def _syscall(ins, addr, next_rip):
                 cpu.process, nr, regs.regs[Reg.RDI], regs.regs[Reg.RSI],
                 regs.regs[Reg.RDX])
             cpu._wreg(Reg.RAX, result.value)
-            stats.cycles += result.cycles
+            # The ring transition drains the window; kernel time is
+            # serial by construction.
+            cpu.timing.serialize_drain(result.cycles, count=False)
         else:
-            stats.cycles += cpu.params.syscall_cycles
+            cpu.timing.serialize_drain(cpu.params.syscall_cycles,
+                                       count=False)
     return run
 
 

@@ -54,7 +54,16 @@ from .decode import CodeMap, DecodedOp, _StopSpeculation, decode_one, \
     decode_program
 from .journal import SpeculationJournal
 from .predictors import BranchTargetBuffer, PatternHistoryTable, ReturnStackBuffer
-from .timing import TimingModel
+from . import timing as timing_seam
+from .timing import (  # noqa: F401  (re-exported: the timing axis mirrors
+    TIMING_MODELS,     # the engine axis for CLI/verify convenience)
+    TimingBackend,
+    TimingModel,
+    create_timing,
+    default_timing,
+    set_default_timing,
+    _validate_timing,
+)
 from .tlb import Tlb
 
 _READ = AccessKind.READ
@@ -175,9 +184,16 @@ def default_engine(engine: str):
         set_default_engine(previous)
 
 
-def create_backend(engine: Optional[str] = None, **kwargs) -> "ExecutionBackend":
-    """Construct a conforming backend by name (the verify-layer seam)."""
-    return Cpu(engine=engine, **kwargs)
+def create_backend(engine: Optional[str] = None,
+                   timing: Optional[str] = None,
+                   **kwargs) -> "ExecutionBackend":
+    """Construct a conforming backend by name (the verify-layer seam).
+
+    ``engine`` picks the execution backend, ``timing`` the timing
+    backend (:data:`repro.cpu.timing.TIMING_MODELS`); both default to
+    the process-wide settings.
+    """
+    return Cpu(engine=engine, timing=timing, **kwargs)
 
 
 class Cpu:
@@ -188,7 +204,8 @@ class Cpu:
                 process: Optional[Process] = None,
                 kernel: Optional[Kernel] = None,
                 telemetry: Optional[Telemetry] = None,
-                engine: Optional[str] = None):
+                engine: Optional[str] = None,
+                timing: Optional[str] = None):
         # ``Cpu(engine="reference")`` hands back the differential
         # oracle so every construction site gets engine selection for
         # free.  ReferenceCpu is not a Cpu subclass (it shares only the
@@ -198,7 +215,7 @@ class Cpu:
             from ..verify.reference import ReferenceCpu
             return ReferenceCpu(params=params, memory=memory,
                                 process=process, kernel=kernel,
-                                telemetry=telemetry)
+                                telemetry=telemetry, timing=timing)
         return super().__new__(cls)
 
     def __init__(self, params: MachineParams = DEFAULT_PARAMS,
@@ -206,8 +223,11 @@ class Cpu:
                  process: Optional[Process] = None,
                  kernel: Optional[Kernel] = None,
                  telemetry: Optional[Telemetry] = None,
-                 engine: Optional[str] = None):
+                 engine: Optional[str] = None,
+                 timing: Optional[str] = None):
         self.engine = _validate_engine(engine or DEFAULT_ENGINE)
+        self.timing_model = _validate_timing(
+            timing if timing is not None else timing_seam.DEFAULT_TIMING)
         self.params = params
         if process is not None:
             self.mem = process.address_space
@@ -229,8 +249,13 @@ class Cpu:
         self._decoded: Dict[int, DecodedOp] = {}
         #: Superblock cache (``blocks`` engine only); CodeMap routes
         #: code-write invalidations through it so compiled blocks stay
-        #: coherent with self-modifying code.
-        self._blocks = BlockCache(self) if self.engine == "blocks" else None
+        #: coherent with self-modifying code.  Compiled blocks bake the
+        #: in-order accounting into generated source, so a non-inline
+        #: timing backend degrades ``blocks`` to the staged loop
+        #: (architectural behavior is identical either way).
+        self._blocks = (BlockCache(self)
+                        if self.engine == "blocks"
+                        and self.timing_model == "inorder" else None)
         #: Raw instruction map; writes invalidate ``_decoded`` entries.
         self._code: Dict[int, Instruction] = CodeMap(self._decoded,
                                                     blocks=self._blocks)
@@ -244,7 +269,7 @@ class Cpu:
         self._in_block = False
         self._block_retired = 0
         #: The timing seam — all cycle charging by the exec layer.
-        self.timing = TimingModel(self)
+        self.timing = create_timing(self.timing_model, self)
         #: Undo log for wrong-path squash (no deepcopy anywhere).
         self._journal = SpeculationJournal()
         self._speculative = False
@@ -284,6 +309,9 @@ class Cpu:
             if self._blocks is not None:
                 self.telemetry.register_component("blocks",
                                                   self._blocks.stats)
+            if self.timing_model == "ooo":
+                self.telemetry.register_component("ooo",
+                                                  self.timing.ooo_stats)
 
     def install_invariant_probe(self, probe) -> None:
         """Arm a sanitizer probe on the speculation journal.
@@ -353,7 +381,12 @@ class Cpu:
         regs = self.regs
         stats = self.stats
         decoded = self._decoded
-        fetch = self.timing.fetch
+        timing = self.timing
+        fetch = timing.fetch
+        #: Inline timing backends (in-order) let this loop add
+        #: fetch+base cost directly; scoreboarded backends take every
+        #: committed instruction through issue/retire instead.
+        inline = timing.inline_commit
         hfi_regs = self.hfi.regs
         tracer = self.tracer
         base_cycles = self.params.base_cycles
@@ -432,10 +465,15 @@ class Cpu:
             if dop is None:
                 dop = self._decode_at(pc)
                 if dop is None:
+                    if not inline:
+                        timing.drain_pending()
                     stats.cycles += fetch_cycles
                     return RunResult("no_instruction", stats, rip=pc)
             stats.instructions += 1
-            stats.cycles += fetch_cycles + base_cycles
+            if inline:
+                stats.cycles += fetch_cycles + base_cycles
+            else:
+                timing.issue(dop, fetch_cycles)
             if tracer is not None:
                 tracer.record(pc, dop.ins, hfi_regs.enabled)
             try:
@@ -447,6 +485,9 @@ class Cpu:
             except RegionError as err:
                 self._raise_fault(HfiFault(FaultCause.HARDWARE_TRAP,
                                            detail=str(err)))
+            else:
+                if not inline:
+                    timing.retire(dop)
             executed += 1
         # The budget ran out with the last instruction's outcome still
         # pending — resolve it instead of silently dropping it (a halt
@@ -466,6 +507,9 @@ class Cpu:
     # ------------------------------------------------------------------
     def _raise_fault(self, fault: HfiFault) -> None:
         """An HFI violation at commit: disable sandbox, set MSR, SIGSEGV."""
+        # Precise exception: the faulting instruction and everything
+        # younger is flushed, the window drains before delivery.
+        self.timing.drain_pending()
         self.stats.hfi_faults += 1
         if self.hfi.enabled:
             outcome = self.hfi.fault(fault.cause, fault.addr)
@@ -482,6 +526,7 @@ class Cpu:
         self._fault = FaultInfo("hfi", fault.addr, fault.cause, fault.detail)
 
     def _raise_page_fault(self, fault: PageFault) -> None:
+        self.timing.drain_pending()
         self.stats.page_faults += 1
         if self.hfi.enabled:
             outcome = self.hfi.fault(FaultCause.HARDWARE_TRAP, fault.addr)

@@ -1,0 +1,548 @@
+"""Scoreboarded out-of-order timing backend (``timing="ooo"``).
+
+The paper's microarchitectural claims — the hmov bounds check issuing
+in parallel with the dTLB lookup (§4.2), entry/exit serialization
+draining the pipeline (§3.4, Figs. 6/7) — are statements about an
+out-of-order core.  This module models one as a *trace-driven
+scoreboard*: the functional commit stream is exactly the in-order one
+(architectural state stays bit-identical across timing models, which
+the verify matrix sweeps), while per-instruction timestamps flow
+through a MIPS-R10000-style structure:
+
+* **register renaming** — a rename map from the 16 architectural GPRs
+  plus a FLAGS pseudo-register onto a physical register file; each
+  physical register carries the cycle its value becomes available
+  (operand-readiness wakeup).
+* **issue queue** — bounded occupancy between dispatch and issue, with
+  ``ooo_width`` issue ports (one instruction per port per cycle).
+* **reorder buffer / active list** — bounded window; entries retire
+  strictly in order (``_last_retire`` is monotone — audited), freeing
+  their previous physical mappings only at retirement, which is what
+  makes exceptions precise.
+* **load/store queue** — bounded in-flight memory operations layered
+  over the existing TLB and cache models (whose *side effects* are
+  identical to the in-order backend; only latency placement differs).
+
+Because the scoreboard consumes the committed stream, wrong-path work
+is never dispatched into the window; speculation cost appears as the
+front-end redirect penalty on a resolved mispredict, matching the
+in-order model's accounting discipline (squashed work is free, the
+flush is not).
+
+``stats.cycles`` is the retirement watermark: after each instruction
+retires it equals that instruction's retire timestamp, so all existing
+consumers (``rdtsc``, telemetry spans, run results) keep working — the
+clock is simply computed by a different pipeline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heappop, heappush, heapreplace
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.opcodes import CONDITIONAL_JUMPS, HMOV_REGION, Opcode
+from ..isa.operands import Mem
+from ..isa.registers import Reg
+from ..telemetry.stats import OooStats
+from .timing import InOrderTiming
+
+#: FLAGS as a renameable pseudo-register: ALU producers write it,
+#: conditional branches read it — the dependence that serializes a
+#: compare/branch pair even out of order.
+_FLAGS = "flags"
+
+_ARCH_KEYS: Tuple = tuple(Reg) + (_FLAGS,)
+
+_ALU_RW = frozenset({
+    Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+    Opcode.IMUL, Opcode.IDIV, Opcode.IMOD, Opcode.SHL, Opcode.SHR,
+    Opcode.SAR,
+})
+_UNARY_FLAGS = frozenset({Opcode.NEG, Opcode.INC, Opcode.DEC})
+_MOVS = frozenset({Opcode.MOV}) | frozenset(HMOV_REGION)
+
+
+def _op_regs(op) -> Tuple[Reg, ...]:
+    """Registers an operand reads (value or address components)."""
+    if type(op) is Reg:
+        return (op,)
+    if isinstance(op, Mem):
+        regs = []
+        if op.base is not None:
+            regs.append(op.base)
+        if op.index is not None:
+            regs.append(op.index)
+        return tuple(regs)
+    return ()
+
+
+def _derive_deps(ins) -> Tuple[Tuple, Tuple]:
+    """(reads, writes) rename keys for one instruction.
+
+    This is a *timing* dataflow summary, deliberately conservative:
+    unknown opcodes read their register operands and write nothing,
+    which can only shorten dependence chains, never corrupt state —
+    the functional layer owns semantics.
+    """
+    opc = ins.opcode
+    ops = ins.operands
+    reads: List = []
+    writes: List = []
+    if opc in _ALU_RW:
+        reads += _op_regs(ops[0]) + _op_regs(ops[1])
+        if type(ops[0]) is Reg:
+            writes.append(ops[0])
+        writes.append(_FLAGS)
+    elif opc in (Opcode.CMP, Opcode.TEST):
+        reads += _op_regs(ops[0]) + _op_regs(ops[1])
+        writes.append(_FLAGS)
+    elif opc in _UNARY_FLAGS:
+        reads += _op_regs(ops[0])
+        if type(ops[0]) is Reg:
+            writes.append(ops[0])
+        writes.append(_FLAGS)
+    elif opc is Opcode.NOT:
+        reads += _op_regs(ops[0])
+        if type(ops[0]) is Reg:
+            writes.append(ops[0])
+    elif opc in _MOVS:
+        reads += _op_regs(ops[1])
+        if type(ops[0]) is Reg:
+            writes.append(ops[0])
+        else:
+            reads += _op_regs(ops[0])
+    elif opc is Opcode.LEA:
+        reads += _op_regs(ops[1])
+        if type(ops[0]) is Reg:
+            writes.append(ops[0])
+    elif opc is Opcode.PUSH:
+        reads += _op_regs(ops[0])
+        reads.append(Reg.RSP)
+        writes.append(Reg.RSP)
+    elif opc is Opcode.POP:
+        reads.append(Reg.RSP)
+        writes.append(Reg.RSP)
+        if type(ops[0]) is Reg:
+            writes.append(ops[0])
+        else:
+            reads += _op_regs(ops[0])
+    elif opc in CONDITIONAL_JUMPS:
+        reads.append(_FLAGS)
+    elif opc is Opcode.CALL:
+        if ops:
+            reads += _op_regs(ops[0])
+        reads.append(Reg.RSP)
+        writes.append(Reg.RSP)
+    elif opc is Opcode.RET:
+        reads.append(Reg.RSP)
+        writes.append(Reg.RSP)
+    elif opc in (Opcode.SYSCALL, Opcode.INT80):
+        reads += [Reg.RAX, Reg.RDI, Reg.RSI, Reg.RDX]
+        writes.append(Reg.RAX)
+    elif opc is Opcode.RDTSC:
+        writes += [Reg.RAX, Reg.RDX]
+    elif opc is Opcode.RDPKRU:
+        writes.append(Reg.RAX)
+    elif opc is Opcode.WRPKRU:
+        reads.append(Reg.RAX)
+    else:
+        # JMP (possibly indirect), CLFLUSH, fences, HFI ops, NOP, HLT:
+        # read whatever registers appear in the operands.
+        for op in ops:
+            reads += _op_regs(op)
+    return tuple(dict.fromkeys(reads)), tuple(dict.fromkeys(writes))
+
+
+class OutOfOrderTiming(InOrderTiming):
+    """Out-of-order scoreboard conforming to :class:`TimingBackend`.
+
+    Subclasses :class:`InOrderTiming` for the shared cpu/stats/cache
+    bindings and the ``_side_effects`` memory fast path; every charge
+    hook is overridden to accumulate into the in-flight instruction
+    instead of the global clock.
+    """
+
+    name = "ooo"
+    inline_commit = False
+
+    __slots__ = (
+        "_width", "_rob_depth", "_iq_depth", "_lsq_depth", "_n_phys",
+        "_rename", "_ready", "_free", "_rob", "_iq", "_lsq",
+        "_ports_front", "_ports_issue", "_ports_retire",
+        "_fetch_ready", "_last_retire", "_clock",
+        "_cur", "_fetch_cost", "_extra", "_mem_lat", "_mem_ops",
+        "_check_lat", "_serialize_cost", "_redirect", "_deps_cache",
+        "_retired", "_drains", "_redirects", "_rob_stalls",
+        "_prf_stalls", "_iq_stalls", "_lsq_stalls", "_peak_inflight",
+        "_checks_overlapped", "_checks_exposed", "_order_violations",
+    )
+
+    def __init__(self, cpu) -> None:
+        super().__init__(cpu)
+        p = cpu.params
+        self._width = max(1, p.ooo_width)
+        self._rob_depth = max(1, p.ooo_rob_depth)
+        self._iq_depth = max(1, p.ooo_iq_depth)
+        self._lsq_depth = max(1, p.ooo_lsq_depth)
+        n_arch = len(_ARCH_KEYS)
+        # Worst case one dispatch needs two fresh physical registers
+        # (rdtsc writes RAX+RDX) while the ROB holds prior mappings;
+        # require headroom for a full issue group beyond the committed
+        # map so allocation can never deadlock.
+        floor = n_arch + 2 * self._width
+        if p.ooo_phys_regs < floor:
+            raise ValueError(
+                f"ooo_phys_regs={p.ooo_phys_regs} too small: need at "
+                f"least {floor} ({n_arch} architectural + 2x width)")
+        self._n_phys = p.ooo_phys_regs
+        self._rename: Dict = {}
+        self._ready = [0] * self._n_phys
+        for idx, key in enumerate(_ARCH_KEYS):
+            self._rename[key] = idx
+        self._free = list(range(n_arch, self._n_phys))
+        #: (retire_time, freed_physical_registers) in program order.
+        self._rob: deque = deque()
+        self._iq: List[int] = []      # heap of pending issue times
+        self._lsq: List[int] = []     # heap of mem completion times
+        start = cpu.stats.cycles
+        self._ports_front = [start] * self._width
+        self._ports_issue = [start] * self._width
+        self._ports_retire = [start] * self._width
+        self._fetch_ready = start
+        self._last_retire = start
+        self._clock = start
+        self._cur = None
+        self._fetch_cost = 0
+        self._extra = 0
+        self._mem_lat = 0
+        self._mem_ops = 0
+        self._check_lat = 0
+        self._serialize_cost = -1
+        self._redirect = False
+        self._deps_cache: Dict = {}
+        self._retired = 0
+        self._drains = 0
+        self._redirects = 0
+        self._rob_stalls = 0
+        self._prf_stalls = 0
+        self._iq_stalls = 0
+        self._lsq_stalls = 0
+        self._peak_inflight = 0
+        self._checks_overlapped = 0
+        self._checks_exposed = 0
+        self._order_violations = 0
+
+    # ------------------------------------------------------------------
+    # issue/retire protocol (driven by the commit loop)
+    # ------------------------------------------------------------------
+
+    def issue(self, dop, fetch_cycles: int) -> None:
+        """Open the timing record for the next committed instruction."""
+        if self._cur is not None:
+            # The previous instruction escaped the commit loop without
+            # a retire call (an engine escape path); close its record
+            # so the window accounting stays exact.
+            self._finalize()
+        stats = self.stats
+        cycles = stats.cycles
+        if cycles != self._clock:
+            # Time was charged directly between instructions (fault
+            # delivery, kernel costs): the window observed it drained.
+            if cycles > self._last_retire:
+                self._last_retire = cycles
+            if cycles > self._fetch_ready:
+                self._fetch_ready = cycles
+            self._clock = cycles
+        self._cur = dop
+        self._fetch_cost = fetch_cycles
+        self._extra = 0
+        self._mem_lat = 0
+        self._mem_ops = 0
+        self._check_lat = 0
+        self._serialize_cost = -1
+        self._redirect = False
+
+    def retire(self, dop) -> None:
+        self._finalize()
+
+    def _finalize(self) -> None:
+        """Walk the in-flight instruction through the pipeline stages
+        and advance the retirement watermark."""
+        dop = self._cur
+        if dop is None:
+            return
+        self._cur = None
+        stats = self.stats
+        params = self.params
+        deps = self._deps_cache.get(dop)
+        if deps is None:
+            deps = _derive_deps(dop.ins)
+            self._deps_cache[dop] = deps
+        reads, writes = deps
+
+        # ---- front end: fetch slot, then decode/rename ----
+        front = self._ports_front
+        f = front[0]
+        if f < self._fetch_ready:
+            f = self._fetch_ready
+        heapreplace(front, f + 1)
+        dispatch = f + self._fetch_cost + 1
+
+        # ---- window allocation: ROB entry + physical registers ----
+        rob = self._rob
+        free = self._free
+        while rob and rob[0][0] <= dispatch:
+            free.extend(rob.popleft()[1])
+        need = len(writes)
+        while rob and (len(rob) >= self._rob_depth or len(free) < need):
+            rob_full = len(rob) >= self._rob_depth
+            t, freed = rob.popleft()
+            free.extend(freed)
+            if t > dispatch:
+                dispatch = t
+                if rob_full:
+                    self._rob_stalls += 1
+                else:
+                    self._prf_stalls += 1
+
+        # ---- issue-queue occupancy between dispatch and issue ----
+        iq = self._iq
+        while iq and iq[0] <= dispatch:
+            heappop(iq)
+        if len(iq) >= self._iq_depth:
+            t = heappop(iq)
+            if t > dispatch:
+                dispatch = t
+                self._iq_stalls += 1
+
+        # ---- serialization waits for the whole window to retire ----
+        if self._serialize_cost >= 0 and dispatch < self._last_retire:
+            dispatch = self._last_retire
+
+        # ---- operand-readiness wakeup ----
+        ready = dispatch
+        rename = self._rename
+        phys_ready = self._ready
+        for key in reads:
+            t = phys_ready[rename[key]]
+            if t > ready:
+                ready = t
+
+        # ---- issue port (width per cycle) ----
+        ports = self._ports_issue
+        t_issue = ports[0]
+        if t_issue < ready:
+            t_issue = ready
+        heapreplace(ports, t_issue + 1)
+        heappush(iq, t_issue)
+
+        # ---- execute; memory goes through the LSQ ----
+        lat = params.base_cycles + self._extra
+        if self._mem_ops:
+            lsq = self._lsq
+            while lsq and lsq[0] <= t_issue:
+                heappop(lsq)
+            if len(lsq) >= self._lsq_depth:
+                t = heappop(lsq)
+                if t > t_issue:
+                    t_issue = t
+                    self._lsq_stalls += 1
+            # §4.2: the hmov bounds check runs in parallel with the
+            # access's own dTLB lookup — the path length is the max of
+            # the two, not the sum.
+            check = self._check_lat
+            if check:
+                if check <= self._mem_lat:
+                    self._checks_overlapped += 1
+                else:
+                    self._checks_exposed += 1
+            lat += self._mem_lat if self._mem_lat >= check else check
+        elif self._check_lat:
+            lat += self._check_lat
+            self._checks_exposed += 1
+        complete = t_issue + (lat if lat > 0 else 1)
+        if self._mem_ops:
+            heappush(self._lsq, complete)
+        if self._serialize_cost >= 0:
+            complete += self._serialize_cost
+
+        # ---- in-order retirement (precise exceptions) ----
+        ports = self._ports_retire
+        t_ret = complete
+        if t_ret < self._last_retire:
+            t_ret = self._last_retire
+        if t_ret < ports[0]:
+            t_ret = ports[0]
+        if t_ret < stats.cycles:
+            # Direct external charges during execution (wrong-path
+            # rdtsc, kernel costs) floor the watermark.
+            t_ret = stats.cycles
+        heapreplace(ports, t_ret + 1)
+        if t_ret < self._last_retire:
+            self._order_violations += 1  # audited; structurally unreachable
+        self._last_retire = t_ret
+
+        # ---- rename table update; old mappings freed at retire ----
+        if writes:
+            freed = []
+            for key in writes:
+                freed.append(rename[key])
+                new = free.pop()
+                rename[key] = new
+                phys_ready[new] = complete
+            rob.append((t_ret, tuple(freed)))
+        else:
+            rob.append((t_ret, ()))
+        if len(rob) > self._peak_inflight:
+            self._peak_inflight = len(rob)
+
+        # ---- front-end consequences ----
+        if self._redirect:
+            t = complete + params.branch_mispredict_penalty
+            if t > self._fetch_ready:
+                self._fetch_ready = t
+        if self._serialize_cost >= 0:
+            # A serializer also empties the window *behind* it: fetch
+            # restarts only after it retires.
+            if t_ret > self._fetch_ready:
+                self._fetch_ready = t_ret
+            self._drains += 1
+        self._retired += 1
+        stats.cycles = t_ret
+        self._clock = t_ret
+
+    def drain_pending(self) -> None:
+        """Empty the window: finalize the in-flight instruction, retire
+        everything in the ROB, restart fetch after the drain.  Called
+        on precise exceptions and halts."""
+        if self._cur is not None:
+            self._finalize()
+        rob = self._rob
+        free = self._free
+        while rob:
+            free.extend(rob.popleft()[1])
+        stats = self.stats
+        if self._last_retire < stats.cycles:
+            self._last_retire = stats.cycles
+        elif stats.cycles < self._last_retire:
+            stats.cycles = self._last_retire
+        if self._fetch_ready < self._last_retire:
+            self._fetch_ready = self._last_retire
+        self._clock = stats.cycles
+        self._drains += 1
+
+    # ------------------------------------------------------------------
+    # charge hooks (called by the exec units mid-instruction)
+    # ------------------------------------------------------------------
+
+    def charge(self, cycles: int) -> None:
+        if self.cpu._speculative:
+            return
+        if self._cur is not None:
+            self._extra += cycles
+        else:
+            self.stats.cycles += cycles
+
+    def charge_always(self, cycles: int) -> None:
+        if self._cur is not None and not self.cpu._speculative:
+            self._extra += cycles
+        else:
+            # Wrong-path (or out-of-band) costs land on the clock
+            # directly; the retire floor keeps the watermark monotone.
+            self.stats.cycles += cycles
+
+    def mem_access(self, ea: int) -> None:
+        cost = self._side_effects(ea)   # fills always: the Spectre channel
+        if self.cpu._speculative:
+            return
+        if self._cur is not None:
+            self._mem_lat += cost
+            self._mem_ops += 1
+        else:
+            self.stats.cycles += cost
+
+    def hmov_check(self, extra: int) -> None:
+        if self.cpu._speculative:
+            return
+        check = self.params.ooo_hmov_check_cycles
+        if extra > check:
+            check = extra
+        if self._cur is not None:
+            if check > self._check_lat:
+                self._check_lat = check
+        else:
+            self.stats.cycles += extra
+
+    def mispredict(self) -> None:
+        if self._cur is not None:
+            self._redirect = True
+            self._redirects += 1
+        else:
+            self.stats.cycles += self.params.branch_mispredict_penalty
+
+    def serialize_drain(self, cost: Optional[int] = None,
+                        count: bool = True) -> None:
+        cost = (cost if cost is not None
+                else self.params.serialize_drain_cycles)
+        if self._cur is not None:
+            if self._serialize_cost < 0:
+                self._serialize_cost = cost
+            else:
+                self._serialize_cost += cost
+        else:
+            self.stats.cycles += cost
+        if count:
+            self.stats.serializations += 1
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def audit(self) -> List[str]:
+        """Structural invariants; any entry is a bug in the scoreboard.
+
+        Checked by the verify gate's OoO probe: the rename map never
+        aliases, every physical register is accounted exactly once
+        (rename map + free list + ROB-held), retirement is monotone
+        (in order), and nothing is left in flight outside the commit
+        loop.
+        """
+        problems = []
+        live = set(self._rename.values())
+        if len(live) != len(self._rename):
+            problems.append("rename map aliases a physical register")
+        held = [p for _, freed in self._rob for p in freed]
+        accounted = len(live) + len(self._free) + len(held)
+        if accounted != self._n_phys:
+            problems.append(
+                f"physical register leak: {accounted} accounted "
+                f"of {self._n_phys}")
+        if len(live | set(self._free) | set(held)) != self._n_phys:
+            problems.append("physical register double-booked")
+        if self._order_violations:
+            problems.append(
+                f"{self._order_violations} out-of-order retirements")
+        if self._cur is not None:
+            problems.append("instruction in flight outside the commit loop")
+        return problems
+
+    @property
+    def window_occupancy(self) -> int:
+        """ROB entries not yet reclaimed (in flight or awaiting free)."""
+        return len(self._rob)
+
+    def ooo_stats(self) -> OooStats:
+        return OooStats(
+            component="ooo",
+            retired=self._retired,
+            drains=self._drains,
+            redirects=self._redirects,
+            rob_stalls=self._rob_stalls,
+            prf_stalls=self._prf_stalls,
+            iq_stalls=self._iq_stalls,
+            lsq_stalls=self._lsq_stalls,
+            peak_inflight=self._peak_inflight,
+            checks_overlapped=self._checks_overlapped,
+            checks_exposed=self._checks_exposed,
+        )

@@ -29,6 +29,15 @@ class MachineParams:
     serialize_drain_cycles: int = 40  # cpuid/lfence/serialized hfi_enter
     speculation_window: int = 64      # ROB-bounded wrong-path depth
 
+    # --- out-of-order timing backend (cpu/ooo.py) ---
+    ooo_width: int = 4                # fetch/issue/retire slots per cycle
+    ooo_rob_depth: int = 128          # reorder-buffer / active-list entries
+    ooo_iq_depth: int = 48            # issue-queue entries
+    ooo_lsq_depth: int = 48           # load/store-queue entries
+    ooo_phys_regs: int = 144          # physical register file size
+    ooo_hmov_check_cycles: int = 1    # hmov bounds-check path length;
+                                      # overlapped with the dTLB lookup
+
     # --- caches / TLB (latencies are *additional* over base) ---
     l1d_hit_cycles: int = 4
     l2_hit_cycles: int = 12

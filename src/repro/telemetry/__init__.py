@@ -21,6 +21,7 @@ from .stats import (
     ComponentStats,
     HfiDeviceStats,
     KernelStats,
+    OooStats,
     PoolStats,
     PredictorStats,
     RobustnessStats,
@@ -41,6 +42,7 @@ __all__ = [
     "ComponentStats", "SuperblockStats", "CacheStats", "TlbStats",
     "PredictorStats", "TracerStats", "SandboxStats",
     "SandboxManagerStats", "HfiDeviceStats", "PoolStats", "KernelStats",
+    "OooStats",
     "VerifyStats", "RobustnessStats", "ServingStats", "ShardedPoolStats",
     "to_json", "metrics_to_csv", "spans_to_csv", "attribution_to_csv",
     "write_json", "write_csv",

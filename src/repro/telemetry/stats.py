@@ -318,6 +318,41 @@ class SuperblockStats(ComponentStats):
 
 
 @dataclass
+class OooStats(ComponentStats):
+    """Scoreboard counters of the out-of-order timing backend
+    (``cpu/ooo.py``, ``timing="ooo"``).
+
+    ``rob_stalls``/``prf_stalls``/``iq_stalls``/``lsq_stalls`` count
+    dispatches delayed because the reorder buffer, physical register
+    file, issue queue, or load/store queue was full. ``drains`` counts
+    window drains (serializing instructions, precise exceptions,
+    explicit ``drain_pending``). ``checks_overlapped`` vs
+    ``checks_exposed`` is the paper's §4.2 claim in counter form: how
+    often the hmov bounds check hid entirely under the access's own
+    TLB+cache latency versus ending up on the critical path.
+    """
+
+    retired: int = 0
+    drains: int = 0
+    redirects: int = 0
+    rob_stalls: int = 0
+    prf_stalls: int = 0
+    iq_stalls: int = 0
+    lsq_stalls: int = 0
+    peak_inflight: int = 0
+    checks_overlapped: int = 0
+    checks_exposed: int = 0
+
+    @property
+    def checks(self) -> int:
+        return self.checks_overlapped + self.checks_exposed
+
+    @property
+    def overlap_rate(self) -> float:
+        return self.checks_overlapped / self.checks if self.checks else 0.0
+
+
+@dataclass
 class RobustnessStats(ComponentStats):
     """The supervised runtime's fault ledger (``repro.runtime.supervisor``).
 

@@ -43,10 +43,12 @@ from .fuzz_checks import (
 )
 from .fuzz_isa import (
     DEFAULT_ENGINES,
+    DEFAULT_TIMINGS,
     DifferentialOutcome,
     FuzzCase,
     architectural_digest,
     build_case,
+    build_matrix,
     run_differential,
     run_seeds,
 )
@@ -64,6 +66,7 @@ __all__ = [
     "ReferenceCpu",
     "FuzzCase", "DifferentialOutcome", "build_case", "run_differential",
     "run_seeds", "architectural_digest", "DEFAULT_ENGINES",
+    "DEFAULT_TIMINGS", "build_matrix",
     "ComparatorSweep", "ComparatorTrial", "classify", "sweep",
     "boundary_sweep", "AGREE", "PERMISSION", "VA_WIDTH", "UNCLASSIFIED",
     "PoolInvariants", "SpeculationIdentityProbe", "InvariantViolation",
@@ -192,6 +195,74 @@ def _speculation_smoke(stats: VerifyStats, failures: List[str]) -> None:
                     for m in probe.violation_log)
 
 
+def _ooo_smoke(stats: VerifyStats, failures: List[str]) -> None:
+    """The OoO invariant probe: run a mispredicting, serializing loop
+    under the scoreboarded backend and audit its structural invariants
+    — retirement stays in order, no physical register is leaked or
+    double-booked, drains empty the window — plus architectural parity
+    (registers, serializations, instruction count) against the
+    in-order model on the same program."""
+    from ..cpu.machine import Cpu
+    from ..isa.assembler import Assembler
+    from ..isa.operands import Imm
+    from ..isa.registers import Reg
+
+    def build():
+        asm = Assembler()
+        asm.mov(Reg.RCX, Imm(48))
+        asm.mov(Reg.RAX, Imm(0))
+        asm.mov(Reg.RBX, Imm(7))
+        asm.label("top")
+        asm.add(Reg.RAX, Imm(3))
+        asm.xor(Reg.RBX, Reg.RAX)
+        asm.cpuid()                     # serializer inside the loop body
+        asm.dec(Reg.RCX)
+        asm.jne("top")
+        asm.hlt()
+        return asm.assemble()
+
+    results = {}
+    for timing in ("inorder", "ooo"):
+        program = build()
+        cpu = Cpu(timing=timing)
+        cpu.load_program(program)
+        result = cpu.run(program.base)
+        results[timing] = (result, cpu)
+        if result.reason != "hlt":
+            failures.append(f"ooo smoke [{timing}]: reason="
+                            f"{result.reason}, expected hlt")
+
+    (_, inorder_cpu), (_, ooo_cpu) = results["inorder"], results["ooo"]
+    checks = [
+        ("architectural parity",
+         all(inorder_cpu.regs.regs[r] == ooo_cpu.regs.regs[r]
+             for r in Reg)),
+        ("serializations parity",
+         inorder_cpu.stats.serializations == ooo_cpu.stats.serializations),
+        ("instruction parity",
+         inorder_cpu.stats.instructions == ooo_cpu.stats.instructions),
+    ]
+    timing = ooo_cpu.timing
+    probs = timing.audit()
+    checks.append(("scoreboard audit", not probs))
+    for message in probs:
+        failures.append(f"ooo invariant: {message}")
+    drains_before = timing.ooo_stats().drains
+    timing.drain_pending()
+    snap = timing.ooo_stats()
+    checks.append(("drain empties the window",
+                   timing.window_occupancy == 0
+                   and snap.drains == drains_before + 1))
+    checks.append(("post-drain audit", not timing.audit()))
+    checks.append(("serializers drained",
+                   snap.drains >= 48))          # one per cpuid at least
+    stats.invariant_checks += len(checks)
+    for label, ok in checks:
+        if not ok:
+            stats.invariant_violations += 1
+            failures.append(f"ooo invariant: {label} failed")
+
+
 def _determinism_smoke(stats: VerifyStats, failures: List[str],
                        seeds: Iterable[int] = (0, 7),
                        params: Optional[MachineParams] = None) -> None:
@@ -235,21 +306,24 @@ def run_verify(seeds: Iterable[int] = range(50),
                comparator_seed: int = 0,
                params: Optional[MachineParams] = None,
                engines: Tuple[str, ...] = DEFAULT_ENGINES,
+               timings: Tuple[str, ...] = DEFAULT_TIMINGS,
                ) -> Tuple[VerifyStats, Dict[str, object]]:
     """Run the whole verify battery; returns (stats, detail report).
 
-    ``engines`` is the differential-oracle matrix: every backend in the
-    tuple runs every seed, and full architectural state is asserted
-    equal against the first entry.
+    ``engines`` x ``timings`` is the differential-oracle matrix: every
+    (engine, timing) cell runs every seed, and full architectural
+    state is asserted equal against the first cell — cycle counts may
+    differ across timing models, architecture may not.
 
-    ``stats.clean`` is the gate: zero cross-engine divergences, zero
+    ``stats.clean`` is the gate: zero cross-backend divergences, zero
     unclassified comparator disagreements, zero poison hits, zero
     invariant violations.
     """
     stats = VerifyStats(component="verify")
     failures: List[str] = []
 
-    outcomes = run_seeds(seeds, params=params, engines=engines)
+    outcomes = run_seeds(seeds, params=params, engines=engines,
+                         timings=timings)
     stats.oracle_runs = len(outcomes)
     for outcome in outcomes:
         if not outcome.ok:
@@ -269,11 +343,14 @@ def run_verify(seeds: Iterable[int] = range(50),
 
     _pool_smoke(stats, failures)
     _speculation_smoke(stats, failures)
+    _ooo_smoke(stats, failures)
     _chaos_smoke(stats, failures, params=params)
     _determinism_smoke(stats, failures, params=params)
 
     report = {
         "engines": list(engines),
+        "timings": list(timings),
+        "matrix": [f"{e}/{t}" for e, t in build_matrix(engines, timings)],
         "oracle_runs": stats.oracle_runs,
         "divergences": stats.divergences,
         "instructions": sum(o.instructions for o in outcomes),

@@ -49,6 +49,11 @@ from ..params import MachineParams
 #: staged interpreter as the baseline the others are compared against.
 DEFAULT_ENGINES: Tuple[str, ...] = ("staged", "blocks", "reference")
 
+#: Timing models the verify gate crosses with the engine matrix.  The
+#: architectural end state must be identical across all of them; only
+#: cycle counts may differ.
+DEFAULT_TIMINGS: Tuple[str, ...] = ("inorder", "ooo")
+
 # ----------------------------------------------------------------------
 # fixed memory layout shared by every generated case
 # ----------------------------------------------------------------------
@@ -479,16 +484,34 @@ def build_case(seed: int) -> FuzzCase:
 # ----------------------------------------------------------------------
 # differential execution
 # ----------------------------------------------------------------------
-def _fresh_backend(engine: str, case: FuzzCase, params: MachineParams):
+def _fresh_backend(engine: str, case: FuzzCase, params: MachineParams,
+                   timing: str = "inorder"):
     """A named backend with the case's address space, program loaded."""
     space = AddressSpace(params)
     for base, length, prot, name in case.mappings:
         space.mmap(length, prot, addr=base, name=name)
     for addr, data in case.preload:
         space.write_bytes(addr, data, check=False)
-    cpu = create_backend(engine, params=params, memory=space)
+    cpu = create_backend(engine, timing=timing, params=params, memory=space)
     cpu.load_program(case.program)
     return cpu
+
+
+def build_matrix(engines: Tuple[str, ...],
+                 timings: Tuple[str, ...]) -> List[Tuple[str, str]]:
+    """The (engine, timing) cross, minus redundant cells.
+
+    The reference oracle has no timing backend (it is architectural
+    only), so it appears once regardless of how many timing models are
+    swept.
+    """
+    matrix: List[Tuple[str, str]] = []
+    for engine in engines:
+        for timing in timings:
+            if engine == "reference" and timing != timings[0]:
+                continue
+            matrix.append((engine, timing))
+    return matrix
 
 
 def _guarded_run(cpu, entry: int, max_instructions: int) -> Dict[str, object]:
@@ -586,12 +609,23 @@ def run_differential(seed: int,
                      params: Optional[MachineParams] = None,
                      max_instructions: int = 200_000,
                      engines: Tuple[str, ...] = DEFAULT_ENGINES,
+                     timings: Tuple[str, ...] = ("inorder",),
                      ) -> DifferentialOutcome:
-    """Run one seed on every engine; report disagreements vs the first."""
+    """Run one seed on every (engine, timing) cell; report
+    disagreements vs the first cell.
+
+    Timing models must not change architecture: cycle counts may (and
+    do) differ across ``timings``, but registers, flags, rip, memory,
+    the HFI bank, committed instruction counts, and run outcomes must
+    be bit-identical — that is the pluggable-timing contract.
+    """
     params = params if params is not None else MachineParams()
     case = build_case(seed)
-    base_name = engines[0]
-    base = _fresh_backend(base_name, case, params)
+    matrix = build_matrix(engines, timings)
+    base_engine, base_timing = matrix[0]
+    base_name = (base_engine if len(timings) == 1
+                 else f"{base_engine}/{base_timing}")
+    base = _fresh_backend(base_engine, case, params, timing=base_timing)
     base_out = _guarded_run(base, case.entry, case.max_instructions)
 
     outcome = DifferentialOutcome(
@@ -599,8 +633,11 @@ def run_differential(seed: int,
         instructions=base.stats.instructions)
     base_ok = "exception" not in base_out
     base_digest = architectural_digest(base) if base_ok else None
-    for other_name in engines[1:]:
-        other = _fresh_backend(other_name, case, params)
+    for other_engine, other_timing in matrix[1:]:
+        other_name = (other_engine if len(timings) == 1
+                      else f"{other_engine}/{other_timing}")
+        other = _fresh_backend(other_engine, case, params,
+                               timing=other_timing)
         other_out = _guarded_run(other, case.entry, case.max_instructions)
         for key in sorted(set(base_out) | set(other_out)):
             if base_out.get(key) != other_out.get(key):
@@ -620,7 +657,9 @@ def run_differential(seed: int,
 
 def run_seeds(seeds, params: Optional[MachineParams] = None,
               engines: Tuple[str, ...] = DEFAULT_ENGINES,
+              timings: Tuple[str, ...] = ("inorder",),
               ) -> List[DifferentialOutcome]:
     """Differentially execute every seed; returns one outcome per seed."""
-    return [run_differential(seed, params=params, engines=engines)
+    return [run_differential(seed, params=params, engines=engines,
+                             timings=timings)
             for seed in seeds]

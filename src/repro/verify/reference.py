@@ -79,11 +79,19 @@ class ReferenceCpu:
     def __init__(self, params: MachineParams = DEFAULT_PARAMS,
                  memory: Optional[AddressSpace] = None,
                  process=None, kernel=None, telemetry=None,
-                 engine: Optional[str] = None):
+                 engine: Optional[str] = None,
+                 timing: Optional[str] = None):
         if engine not in (None, "reference"):
             raise ValueError(
                 f"ReferenceCpu only implements engine='reference', "
                 f"got {engine!r}")
+        # The oracle is architectural-only: any *valid* timing model is
+        # accepted and ignored (its simplified cost stream is never
+        # compared), so matrix construction sites need no special case.
+        if timing is not None:
+            from ..cpu.timing import _validate_timing
+            _validate_timing(timing)
+        self.timing_model = "reference"
         self.params = params
         if process is not None:
             self.mem = process.address_space

@@ -22,12 +22,14 @@ change that is supposed to alter timing, and say so in the commit.
 
 from __future__ import annotations
 
+import contextlib
+
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core import ImplicitCodeRegion, ImplicitDataRegion, SandboxFlags
 from ..core.encoding import encode_region, encode_sandbox
 from ..core.regions import ExplicitDataRegion
-from ..cpu.machine import Cpu, CpuStats, default_engine
+from ..cpu.machine import Cpu, CpuStats, default_engine, default_timing
 from ..isa import Assembler, Imm, Mem, Reg
 from ..os.address_space import AddressSpace, Prot
 from ..params import MachineParams
@@ -214,15 +216,19 @@ GOLDEN_WORKLOADS: Dict[str, Callable[[], Metrics]] = {
 }
 
 
-def run_all(engine: Optional[str] = None) -> Dict[str, Metrics]:
+def run_all(engine: Optional[str] = None,
+            timing: Optional[str] = None) -> Dict[str, Metrics]:
     """Evaluate every golden workload, in registry order.
 
-    ``engine`` scopes the process-wide default execution backend for
-    the duration of the run, so every CPU constructed inside the
-    workloads (wasm runtimes, attack harnesses, transition loops) uses
-    it.  The fixture is regenerated under ``staged`` and replayed under
-    every engine that promises cycle parity."""
-    if engine is None:
-        return {name: build() for name, build in GOLDEN_WORKLOADS.items()}
-    with default_engine(engine):
+    ``engine`` (and ``timing``) scope the process-wide default
+    execution and timing backends for the duration of the run, so
+    every CPU constructed inside the workloads (wasm runtimes, attack
+    harnesses, transition loops) uses them.  Each fixture file is
+    regenerated under ``staged`` with one timing model and replayed
+    under every engine that promises cycle parity for it."""
+    with contextlib.ExitStack() as scopes:
+        if engine is not None:
+            scopes.enter_context(default_engine(engine))
+        if timing is not None:
+            scopes.enter_context(default_timing(timing))
         return {name: build() for name, build in GOLDEN_WORKLOADS.items()}

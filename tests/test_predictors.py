@@ -1,0 +1,175 @@
+"""Branch predictor structures: PHT, BTB, and RSB edge cases.
+
+The predictors drive both timing models (mispredict redirects) *and*
+the speculation windows the §5.3 Spectre experiments ride on, so
+their training, aliasing, capacity, and counter behavior is pinned
+here independently of any CPU run:
+
+* PHT: weakly-not-taken reset state, two-update hysteresis, counter
+  saturation at both rails, (pc >> 2) index granularity and the
+  aliasing it implies at ``size`` strides;
+* BTB: LRU capacity eviction, refresh-on-predict, update-in-place for
+  resident PCs, miss-equals-mispredict accounting;
+* RSB: LIFO order, bounded depth dropping the *oldest* frame,
+  underflow counting, and instance independence.
+"""
+
+import pytest
+
+from repro.cpu.predictors import (
+    BranchTargetBuffer,
+    PatternHistoryTable,
+    ReturnStackBuffer,
+)
+
+
+class TestPatternHistoryTable:
+    def test_initial_state_weakly_not_taken(self):
+        pht = PatternHistoryTable()
+        assert pht.predict(0x400) is False
+        # one taken update flips a weak counter straight to taken
+        pht.update(0x400, taken=True)
+        assert pht.predict(0x400) is True
+
+    def test_training_hysteresis(self):
+        """A saturated-taken counter survives one not-taken outcome."""
+        pht = PatternHistoryTable()
+        for _ in range(4):
+            pht.update(0x400, taken=True)
+        pht.update(0x400, taken=False)
+        assert pht.predict(0x400) is True   # 3 -> 2: still taken
+        pht.update(0x400, taken=False)
+        assert pht.predict(0x400) is False  # 2 -> 1: flipped
+
+    def test_counters_saturate_at_both_rails(self):
+        pht = PatternHistoryTable(size=4)
+        for _ in range(40):
+            pht.update(0x10, taken=True)
+        assert pht._counters[pht._index(0x10)] == 3
+        for _ in range(40):
+            pht.update(0x10, taken=False)
+        assert pht._counters[pht._index(0x10)] == 0
+
+    def test_index_granularity_word_aligned(self):
+        """PCs within the same 4-byte word share a counter; the next
+        word gets its own."""
+        pht = PatternHistoryTable()
+        for _ in range(2):
+            pht.update(0x400, taken=True)
+        assert pht.predict(0x403) is True   # same word: aliased
+        assert pht.predict(0x404) is False  # next word: untrained
+
+    def test_aliasing_at_table_stride(self):
+        """PCs ``4 * size`` apart collide — the Spectre-PHT training
+        primitive: an attacker branch trains a victim branch's
+        counter."""
+        pht = PatternHistoryTable(size=64)
+        attacker, victim = 0x1000, 0x1000 + 4 * 64
+        for _ in range(2):
+            pht.update(attacker, taken=True)
+        assert pht.predict(victim) is True
+
+    def test_stats_accounting(self):
+        pht = PatternHistoryTable(size=8)
+        pht.predict(0)
+        pht.update(0, taken=True)    # predicted not-taken: mispredict
+        pht.update(0, taken=True)    # now weakly taken... still counts
+        stats = pht.stats()
+        assert stats.component == "pht"
+        assert stats.lookups == 1
+        assert stats.updates == 2
+        assert stats.mispredicts == 1
+        assert stats.correct == 1
+        assert stats.capacity == 8
+
+
+class TestBranchTargetBuffer:
+    def test_unknown_pc_predicts_none(self):
+        btb = BranchTargetBuffer()
+        assert btb.predict(0x400) is None
+
+    def test_update_then_predict(self):
+        btb = BranchTargetBuffer()
+        btb.update(0x400, 0x9000)
+        assert btb.predict(0x400) == 0x9000
+
+    def test_capacity_evicts_least_recently_used(self):
+        btb = BranchTargetBuffer(size=2)
+        btb.update(0x10, 0xA)
+        btb.update(0x20, 0xB)
+        btb.update(0x30, 0xC)            # evicts 0x10
+        assert btb.predict(0x10) is None
+        assert btb.predict(0x20) == 0xB
+        assert btb.predict(0x30) == 0xC
+
+    def test_predict_refreshes_lru_position(self):
+        btb = BranchTargetBuffer(size=2)
+        btb.update(0x10, 0xA)
+        btb.update(0x20, 0xB)
+        btb.predict(0x10)                # 0x20 is now the LRU victim
+        btb.update(0x30, 0xC)
+        assert btb.predict(0x20) is None
+        assert btb.predict(0x10) == 0xA
+
+    def test_update_resident_pc_does_not_evict(self):
+        btb = BranchTargetBuffer(size=2)
+        btb.update(0x10, 0xA)
+        btb.update(0x20, 0xB)
+        btb.update(0x10, 0xAA)           # retarget in place
+        assert btb.predict(0x20) == 0xB
+        assert btb.predict(0x10) == 0xAA
+        assert btb.stats().entries == 2
+
+    def test_miss_counts_as_mispredict(self):
+        """Both a cold miss and a stale target cost a front-end
+        redirect, and the stats say so."""
+        btb = BranchTargetBuffer()
+        btb.update(0x400, 0x9000)        # cold: mispredict
+        btb.update(0x400, 0x9000)        # same target: correct
+        btb.update(0x400, 0x8000)        # retarget: mispredict
+        stats = btb.stats()
+        assert stats.mispredicts == 2
+        assert stats.correct == 1
+        assert stats.updates == 3
+
+
+class TestReturnStackBuffer:
+    def test_lifo_order(self):
+        rsb = ReturnStackBuffer()
+        rsb.push(0x100)
+        rsb.push(0x200)
+        assert rsb.pop() == 0x200
+        assert rsb.pop() == 0x100
+
+    def test_overflow_drops_oldest_frame(self):
+        rsb = ReturnStackBuffer(depth=2)
+        rsb.push(0x100)
+        rsb.push(0x200)
+        rsb.push(0x300)                  # drops 0x100
+        assert rsb.pop() == 0x300
+        assert rsb.pop() == 0x200
+        assert rsb.pop() is None
+
+    def test_underflow_counted_and_returns_none(self):
+        rsb = ReturnStackBuffer()
+        assert rsb.pop() is None
+        assert rsb.pop() is None
+        stats = rsb.stats()
+        assert stats.underflows == 2
+        assert stats.lookups == 2
+        assert stats.updates == 0
+
+    def test_stats_entries_track_stack(self):
+        rsb = ReturnStackBuffer(depth=4)
+        for addr in (1, 2, 3):
+            rsb.push(addr)
+        assert rsb.stats().entries == 3
+        assert rsb.stats().capacity == 4
+        rsb.pop()
+        assert rsb.stats().entries == 2
+
+    def test_instances_are_independent(self):
+        a, b = ReturnStackBuffer(), ReturnStackBuffer()
+        a.push(0x1)
+        assert b.pop() is None
+        assert a.pop() == 0x1
