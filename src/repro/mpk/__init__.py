@@ -12,9 +12,11 @@ from .domains import (
     pkru_allowing,
     pkru_read_only,
 )
+from .virtualize import MpkKeyVirtualizer, VirtualDomain
 
 __all__ = [
     "MpkDomain", "MpkDomainManager", "MpkError", "MpkSandboxSwitcher",
+    "MpkKeyVirtualizer", "VirtualDomain",
     "pkru_allowing", "pkru_read_only", "NUM_KEYS", "USABLE_KEYS", "AD",
     "WD",
 ]

@@ -22,6 +22,7 @@ from .serving import (
     ServingSimulator,
     TraceArrivals,
     build_requests,
+    connection_lifecycle_costs,
     load_trace,
     save_trace,
     scheme_costs,
@@ -56,4 +57,5 @@ __all__ = [
     "build_requests", "save_trace", "load_trace", "SchemeCosts",
     "scheme_costs", "SERVING_SCHEMES", "ServingConfig",
     "ServingMetrics", "ServingSimulator", "simulate_serving",
+    "connection_lifecycle_costs",
 ]

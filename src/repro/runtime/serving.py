@@ -198,6 +198,14 @@ class SchemeCosts:
     it is whatever the pool's (batched or immediate) madvise
     accounting charges at release time, which is where the §6.3.1
     batching win shows up.
+
+    ``setup_cycles``/``teardown_cycles`` are the *per-request sandbox
+    lifecycle* costs for churn-shaped traffic (one sandbox per
+    connection, NGINX-style): setup is charged with dispatch, teardown
+    with the slot release.  They default to 0 — the FaaS scenario
+    reuses pooled instances, so only connection-churn scenarios
+    populate them (from :func:`connection_lifecycle_costs`, i.e. real
+    ``mprotect``/``madvise_dontneed`` walks, not flat constants).
     """
 
     name: str
@@ -205,6 +213,8 @@ class SchemeCosts:
     transition_cycles: int      # boundary round trip per invocation
     dispatch_cycles: int        # pooled instance staging per dispatch
     batch_teardown: bool
+    setup_cycles: int = 0       # per-connection sandbox establishment
+    teardown_cycles: int = 0    # per-connection sandbox teardown
 
 
 #: The schemes the serving benchmark compares.
@@ -247,6 +257,42 @@ def scheme_costs(name: str,
             batch_teardown=False)
     raise ValueError(f"unknown serving scheme {name!r}; "
                      f"known: {SERVING_SCHEMES}")
+
+
+def connection_lifecycle_costs(strategy_name: str, *,
+                               heap_bytes: int = 1 << 16,
+                               touched_bytes: int = 16 * 1024,
+                               tag_pkey: bool = False,
+                               params: MachineParams = DEFAULT_PARAMS,
+                               ) -> Tuple[int, int]:
+    """Measured per-connection sandbox (setup, teardown) cycles.
+
+    Runs the strategy's real reservation against a scratch
+    :class:`AddressSpace` — ``mmap`` + ``mprotect`` (plus a
+    ``pkey_mprotect`` tag when ``tag_pkey``) for setup — then dirties
+    the connection's working set and measures the
+    ``madvise_dontneed`` teardown, so present pages pay the zap cost
+    and guard-page reservations pay the sparse PTE-range walk the
+    paper's §6.3.1 batching argument hinges on.  This is what
+    churn-shaped scenarios feed into :class:`SchemeCosts` instead of
+    flat constants.
+    """
+    space = AddressSpace(params)
+    strategy = make_strategy(strategy_name)
+    base, reserve = strategy.reserve_memory(space, heap_bytes)
+    setup = reserve + 2 * params.syscall_cycles
+    if tag_pkey:
+        setup += params.syscall_cycles + space.set_pkey(base, heap_bytes,
+                                                        1)
+    page = params.page_bytes
+    for off in range(0, min(touched_bytes, heap_bytes), page):
+        space.write(base + off, 0xAB, 1, check=False)
+    teardown = strategy.teardown_cost(space, base, heap_bytes, params)
+    if tag_pkey:
+        # the key must be recycled clean: untag before the key is freed
+        teardown += params.syscall_cycles + space.set_pkey(base,
+                                                           heap_bytes, 0)
+    return setup, teardown
 
 
 # ----------------------------------------------------------------------
@@ -554,7 +600,8 @@ class ServingSimulator:
         ledger is stamped exactly once.
         """
         scheme, config, request = self.scheme, self.config, record.request
-        base = scheme.dispatch_cycles + scheme.transition_cycles
+        base = (scheme.dispatch_cycles + scheme.transition_cycles
+                + scheme.setup_cycles)
         pending = (record.injection.kind
                    if (record.injection is not None
                        and record.injection.classified is None
@@ -640,7 +687,8 @@ class ServingSimulator:
         if quarantine:
             self.pool.quarantine(record.slot, record.owner_shard)
             return
-        cost = self.pool.release(record.slot, record.owner_shard)
+        cost = (self.pool.release(record.slot, record.owner_shard)
+                + self.scheme.teardown_cycles)
         core = self._cores[record.core]
         core.busy_until = max(core.busy_until, self.clock) + cost
         core.busy_cycles += cost

@@ -24,6 +24,12 @@ from ..telemetry.sink import NULL_TELEMETRY, Telemetry
 _SPRINGBOARD_REG_OPS = 30   # save 15 + restore 15
 _STACK_SWITCH_OPS = 4
 
+#: ERIM call-gate work beyond the bare wrpkru: the inspect-PKRU
+#: compare (the gate must verify the value it just wrote, or a jump
+#: into the middle of the gate forges a domain) plus the scratch
+#: scrub around it.
+_MPK_GATE_VALIDATE_CYCLES = 20
+
 
 class TransitionKind(enum.Enum):
     #: Full register save/clear + stack switch (native sandboxes).
@@ -85,10 +91,23 @@ class TransitionModel:
             self.telemetry.add_cycles("transitions.round_trip", cost)
         return cost
 
+    def mpk_switch_cost(self) -> int:
+        """One ERIM-style switch gate, one way: wrpkru + the gate's
+        PKRU-value validation + an lfence-class speculation barrier.
+
+        This is the *single source of truth* for the MPK switch
+        formula — :class:`repro.mpk.MpkSandboxSwitcher` and
+        :class:`repro.workloads.NginxModel` both read it, so the
+        baseline cannot drift between the domain model and the
+        workload models (it previously did: ``//4`` vs ``//2 + 20``).
+        """
+        return (self.params.wrpkru_cycles
+                + self.params.serialize_drain_cycles // 2
+                + _MPK_GATE_VALIDATE_CYCLES)
+
     def mpk_round_trip(self) -> int:
         """ERIM-style wrpkru in + out (with speculation barriers)."""
-        switch = (self.params.wrpkru_cycles
-                  + self.params.serialize_drain_cycles // 4)
+        switch = self.mpk_switch_cost()
         cost = 2 * (switch + self.software_cost(
             TransitionKind.SPRINGBOARD) // 2)
         if self.telemetry.enabled:

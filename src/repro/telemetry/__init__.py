@@ -21,6 +21,8 @@ from .stats import (
     ComponentStats,
     HfiDeviceStats,
     KernelStats,
+    MpkDomainStats,
+    MpkVirtStats,
     OooStats,
     PoolStats,
     PredictorStats,
@@ -42,7 +44,7 @@ __all__ = [
     "ComponentStats", "SuperblockStats", "CacheStats", "TlbStats",
     "PredictorStats", "TracerStats", "SandboxStats",
     "SandboxManagerStats", "HfiDeviceStats", "PoolStats", "KernelStats",
-    "OooStats",
+    "OooStats", "MpkDomainStats", "MpkVirtStats",
     "VerifyStats", "RobustnessStats", "ServingStats", "ShardedPoolStats",
     "to_json", "metrics_to_csv", "spans_to_csv", "attribution_to_csv",
     "write_json", "write_csv",

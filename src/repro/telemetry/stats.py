@@ -233,6 +233,56 @@ class ServingStats(ComponentStats):
 
 
 @dataclass
+class MpkDomainStats(ComponentStats):
+    """MPK key-table lifecycle counters (``repro.mpk.MpkDomainManager``).
+
+    ``stale_untags`` counts ranges that were still tagged when their
+    key was freed and had to be re-tagged to the default domain —
+    each one is a stale-tag leak the old (non-recycling) allocator
+    would have handed to the next tenant.  ``leaked_keys`` is the
+    conservation check: keys handed out minus live minus free; it
+    must stay 0 under any alloc/free interleaving.
+    """
+
+    allocated: int = 0
+    free_keys: int = 0
+    allocs: int = 0
+    frees: int = 0
+    stale_untags: int = 0
+    leaked_keys: int = 0
+
+    @property
+    def churn(self) -> int:
+        """Completed alloc→free cycles the table has absorbed."""
+        return self.frees
+
+
+@dataclass
+class MpkVirtStats(ComponentStats):
+    """Key-virtualization counters (``repro.mpk.MpkKeyVirtualizer``).
+
+    Past 15 live domains, MPK switches stop being a bare wrpkru: a
+    miss steals the least-recently-used physical key, paying
+    ``pkey_mprotect`` untag+retag syscalls over both domains' pages.
+    ``hits``/``misses`` partition switches by residency;
+    ``retag_cycles`` is the virtualization tax the Fig. 5-analogue
+    sweep plots against HFI's flat line.
+    """
+
+    domains: int = 0
+    resident: int = 0
+    switches: int = 0
+    hits: int = 0
+    misses: int = 0
+    key_steals: int = 0
+    retag_cycles: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.switches if self.switches else 0.0
+
+
+@dataclass
 class KernelStats(ComponentStats):
     """Syscall dispatch counters."""
 

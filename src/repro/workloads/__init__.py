@@ -4,6 +4,20 @@ from .faas_apps import APP_SCALES, FAAS_APPS
 from .font import graphite_reflow
 from .image import COMPRESSION_ROUNDS, RESOLUTIONS, jpeg_decode
 from .nginx import FILE_SIZES, SCHEMES, NginxModel
+from .scenarios import (
+    CHURN_SCHEMES,
+    RENDER_JOBS,
+    RENDER_SCHEMES,
+    ConnectionProfile,
+    build_connection_profiles,
+    build_render_profiles,
+    churn_requests,
+    churn_scheme_costs,
+    connection_service_cycles,
+    measure_render_jobs,
+    render_requests,
+    render_scheme_costs,
+)
 from .sightglass import SIGHTGLASS_BENCHMARKS
 from .spec import SPEC_BENCHMARKS
 
@@ -11,4 +25,9 @@ __all__ = [
     "SIGHTGLASS_BENCHMARKS", "SPEC_BENCHMARKS", "jpeg_decode",
     "RESOLUTIONS", "COMPRESSION_ROUNDS", "graphite_reflow", "FAAS_APPS",
     "APP_SCALES", "NginxModel", "FILE_SIZES", "SCHEMES",
+    "CHURN_SCHEMES", "RENDER_SCHEMES", "RENDER_JOBS",
+    "ConnectionProfile", "connection_service_cycles",
+    "build_connection_profiles", "churn_requests", "churn_scheme_costs",
+    "build_render_profiles", "measure_render_jobs", "render_requests",
+    "render_scheme_costs",
 ]

@@ -75,11 +75,8 @@ class NginxModel:
                         serialized=True, regions_installed=3)
                     + self.transitions.hfi_exit_cost(serialized=True))
         if scheme == "mpk":
-            # ERIM switch gate: wrpkru + validation + speculation fence
-            switch = (self.params.wrpkru_cycles
-                      + self.params.serialize_drain_cycles // 2
-                      + 20)
-            return 2 * switch
+            # ERIM switch gate — the shared formula in TransitionModel
+            return 2 * self.transitions.mpk_switch_cost()
         raise ValueError(f"unknown scheme {scheme!r}")
 
     def request_cycles(self, file_bytes: int, scheme: str) -> int:

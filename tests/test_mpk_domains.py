@@ -1,0 +1,209 @@
+"""Regression tests for the MPK key-lifecycle repairs (paper §6.4.2,
+§7): key recycling under churn, stale-tag hygiene on free, and PKRU
+save/restore across nested sandbox switches."""
+
+import random
+
+import pytest
+
+from repro.mpk import (
+    NUM_KEYS,
+    USABLE_KEYS,
+    MpkDomainManager,
+    MpkError,
+    MpkKeyVirtualizer,
+    MpkSandboxSwitcher,
+    pkru_allowing,
+)
+from repro.os import AddressSpace, Kernel, Prot
+from repro.params import MachineParams
+
+
+@pytest.fixture
+def params():
+    return MachineParams()
+
+
+@pytest.fixture
+def space(params):
+    return AddressSpace(params)
+
+
+class TestKeyRecycling:
+    def test_thousand_cycle_churn_never_exhausts(self, space, params):
+        """The headline bug: increment-only key handout exhausted the
+        table at the 16th alloc even when every key had been freed."""
+        manager = MpkDomainManager(space, params)
+        for _ in range(1000):
+            domain = manager.pkey_alloc("churn")
+            assert 1 <= domain.key < NUM_KEYS
+            manager.pkey_free(domain)
+        stats = manager.stats()
+        assert stats.allocs == 1000
+        assert stats.frees == 1000
+        assert stats.allocated == 0
+        assert stats.leaked_keys == 0
+
+    def test_free_returns_key_to_pool(self, space, params):
+        manager = MpkDomainManager(space, params)
+        first = manager.pkey_alloc("a")
+        manager.pkey_free(first)
+        second = manager.pkey_alloc("b")
+        assert second.key == first.key      # lowest free key reused
+
+    def test_double_free_is_noop(self, space, params):
+        manager = MpkDomainManager(space, params)
+        domain = manager.pkey_alloc("once")
+        assert manager.pkey_free(domain) == 0   # no tagged ranges
+        assert manager.pkey_free(domain) == 0   # second free: no-op
+        # the key must not have been pushed twice
+        a = manager.pkey_alloc("x")
+        b = manager.pkey_alloc("y")
+        assert a.key != b.key
+        assert manager.stats().leaked_keys == 0
+
+    def test_exhaustion_still_raises_when_all_live(self, space, params):
+        manager = MpkDomainManager(space, params)
+        live = [manager.pkey_alloc(f"d{i}") for i in range(USABLE_KEYS)]
+        with pytest.raises(MpkError):
+            manager.pkey_alloc("sixteenth")
+        manager.pkey_free(live[7])
+        assert manager.pkey_alloc("replacement").key == live[7].key
+
+    def test_property_allocated_keys_unique_and_bounded(self, space,
+                                                        params):
+        """Seeded random alloc/free interleaving: at every step the
+        live key set is duplicate-free and inside [1, NUM_KEYS)."""
+        manager = MpkDomainManager(space, params)
+        rng = random.Random(0xA110C)
+        live = []
+        for _ in range(2000):
+            if live and (rng.random() < 0.5
+                         or len(live) == USABLE_KEYS):
+                manager.pkey_free(live.pop(rng.randrange(len(live))))
+            else:
+                live.append(manager.pkey_alloc())
+            keys = [d.key for d in manager.allocated]
+            assert len(keys) == len(set(keys))
+            assert all(1 <= k < NUM_KEYS for k in keys)
+            assert manager.stats().leaked_keys == 0
+
+
+class TestStaleTagHygiene:
+    def test_free_untags_recorded_ranges(self, space, params):
+        """Freeing a key must retag its pages to the default domain —
+        otherwise the next pkey_alloc hands out a key that already
+        guards (or exposes) a stranger's pages."""
+        manager = MpkDomainManager(space, params)
+        addr = space.mmap(8192, Prot.rw())
+        domain = manager.pkey_alloc("crypto")
+        manager.pkey_mprotect(domain, addr, 8192)
+        assert space.find_vma(addr).pkey == domain.key
+        cost = manager.pkey_free(domain)
+        assert cost >= params.syscall_cycles    # untag is kernel work
+        assert space.find_vma(addr).pkey == 0
+        assert manager.stats().stale_untags == 1
+
+    def test_recycled_key_inherits_no_tags(self, space, params):
+        """The reuse regression: alloc, tag, free, re-alloc the same
+        key — no VMA may still carry it."""
+        manager = MpkDomainManager(space, params)
+        addr = space.mmap(4096, Prot.rw())
+        victim = manager.pkey_alloc("victim")
+        manager.pkey_mprotect(victim, addr, 4096)
+        manager.pkey_free(victim)
+        recycled = manager.pkey_alloc("stranger")
+        assert recycled.key == victim.key
+        assert space.find_vma(addr).pkey == 0
+        # and the stale handle is dead: tagging through it must fail
+        with pytest.raises(MpkError):
+            manager.pkey_mprotect(victim, addr, 4096)
+
+
+class TestPkruSaveRestore:
+    def _switcher(self, params):
+        return MpkSandboxSwitcher(Kernel(params).spawn(), params)
+
+    def test_exit_restores_callers_pkru(self, params):
+        switcher = self._switcher(params)
+        caller_pkru = pkru_allowing({5})
+        switcher.process.pkru = caller_pkru
+        switcher.enter({3})
+        assert switcher.process.pkru == pkru_allowing({3})
+        switcher.exit()
+        # the old bug: exit reset PKRU to allow EVERY key
+        assert switcher.process.pkru == caller_pkru
+
+    def test_nested_enter_exit_unwinds_like_a_stack(self, params):
+        switcher = self._switcher(params)
+        outer = pkru_allowing(set())
+        switcher.process.pkru = outer
+        switcher.enter({1})
+        switcher.enter({2})
+        assert switcher.depth == 2
+        switcher.exit()
+        assert switcher.process.pkru == pkru_allowing({1})
+        switcher.exit()
+        assert switcher.process.pkru == outer
+        assert switcher.depth == 0
+
+    def test_exit_without_enter_raises(self, params):
+        switcher = self._switcher(params)
+        with pytest.raises(MpkError):
+            switcher.exit()
+
+    def test_switch_cost_is_the_shared_formula(self, params):
+        from repro.runtime import TransitionModel
+        switcher = self._switcher(params)
+        assert (switcher.switch_cost()
+                == TransitionModel(params).mpk_switch_cost())
+
+
+class TestKeyVirtualizer:
+    def _virt(self, params, n_domains):
+        space = AddressSpace(params)
+        virt = MpkKeyVirtualizer(space, params)
+        domains = []
+        for i in range(n_domains):
+            base = space.mmap(4096, Prot.rw(), name=f"dom{i}")
+            domains.append(virt.create_domain(f"dom{i}", [(base, 4096)]))
+        return virt, domains
+
+    def test_below_key_limit_second_switch_is_bare_gate(self, params):
+        virt, domains = self._virt(params, USABLE_KEYS)
+        for d in domains:
+            virt.switch_to(d)               # warm: first touch allocates
+        from repro.runtime import TransitionModel
+        expected = TransitionModel(params).mpk_switch_cost()
+        assert all(virt.switch_to(d) == expected for d in domains)
+        assert virt.stats().key_steals == 0
+
+    def test_past_key_limit_steals_and_survives(self, params):
+        """Thousands of steals churn pkey_free/pkey_alloc — the repaired
+        lifecycle must neither exhaust nor leak."""
+        virt, domains = self._virt(params, 40)
+        rng = random.Random(0x5CA1E)
+        for _ in range(1500):
+            virt.switch_to(domains[rng.randrange(len(domains))])
+        stats = virt.stats()
+        assert stats.key_steals > USABLE_KEYS
+        assert len(virt.resident) <= USABLE_KEYS
+        manager = virt.manager.stats()
+        assert manager.leaked_keys == 0
+        assert manager.frees > USABLE_KEYS
+
+    def test_miss_retags_with_recycled_key_only(self, params):
+        virt, domains = self._virt(params, USABLE_KEYS + 1)
+        for d in domains:
+            virt.switch_to(d)
+        keys = [d.physical.key for d in virt.resident]
+        assert len(keys) == len(set(keys))
+        assert all(1 <= k < NUM_KEYS for k in keys)
+
+    def test_switch_to_destroyed_domain_raises(self, params):
+        virt, domains = self._virt(params, 2)
+        virt.switch_to(domains[0])
+        virt.destroy_domain(domains[0])
+        with pytest.raises(MpkError):
+            virt.switch_to(domains[0])
+        assert virt.manager.stats().leaked_keys == 0
